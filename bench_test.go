@@ -1,0 +1,311 @@
+// Package repro's root benchmark harness: one benchmark per experiment of
+// DESIGN.md's index. The benchmarks regenerate the paper's artefacts under
+// `go test -bench=. -benchmem` and report domain-specific metrics
+// (states/level, interactions/decision, …) alongside time and allocations.
+//
+//	E1  Table 1    → BenchmarkTable1StateComplexity
+//	E2  Figure 1   → BenchmarkFigure1Interpreter / BenchmarkFigure1ExactCheck
+//	E3  Figure 2   → BenchmarkFigure2Classification
+//	E4  Fig 3/5/6/7→ BenchmarkCompilePipeline
+//	E5  Figure 4   → BenchmarkConvertPipeline
+//	E6  Theorem 3  → BenchmarkTheorem3Decide
+//	E9  Theorem 5  → BenchmarkTheorem5Accounting
+//	E10 Lemma 15   → BenchmarkLeaderElection
+//	E11 Theorem 2  → BenchmarkTheorem2Robustness
+//	E12 §1         → BenchmarkConvergence
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/compile"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/explore"
+	"repro/internal/multiset"
+	"repro/internal/popmachine"
+	"repro/internal/popprog"
+	"repro/internal/sched"
+	"repro/internal/simulate"
+)
+
+// BenchmarkTable1StateComplexity regenerates the Table 1 rows (E1): the
+// full construction + compilation + state-count pipeline per level.
+func BenchmarkTable1StateComplexity(b *testing.B) {
+	for n := 1; n <= 6; n++ {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				c, err := core.New(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := compile.Compile(c.Program)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, states, err = convert.CountStates(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(states), "protocol-states")
+		})
+	}
+}
+
+// BenchmarkFigure1Interpreter decides 4 ≤ m < 7 at the program level (E2).
+func BenchmarkFigure1Interpreter(b *testing.B) {
+	prog := popprog.Figure1Program()
+	for _, m := range []int64{3, 5, 8} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			want := m >= 4 && m < 7
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				res, err := popprog.DecideTotal(prog, m, popprog.DecideOptions{
+					Seed: int64(i), Budget: 400_000, TruthProb: 0.8, Attempts: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Output != want {
+					b.Fatalf("m=%d decided %v", m, res.Output)
+				}
+				steps += res.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/decision")
+		})
+	}
+}
+
+// BenchmarkFigure1ExactCheck model-checks the compiled Figure 1 machine for
+// one population size over all placements (E2, exact half).
+func BenchmarkFigure1ExactCheck(b *testing.B) {
+	machine, err := compile.Compile(popprog.Figure1Program())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := popmachine.System{M: machine}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var initial []*popmachine.Config
+		multiset.Enumerate(len(machine.Registers), 5, func(regs *multiset.Multiset) {
+			cfg, err := machine.InitialConfig(regs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			initial = append(initial, cfg)
+		})
+		res, err := explore.Explore[*popmachine.Config](sys, initial, explore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.StabilisesTo(true) {
+			b.Fatal("m=5 must be accepted")
+		}
+		b.ReportMetric(float64(res.NumStates), "reachable-states")
+	}
+}
+
+// BenchmarkFigure2Classification classifies random configurations (E3).
+func BenchmarkFigure2Classification(b *testing.B) {
+	c, err := core.New(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sched.NewRand(1)
+	cfgs := make([]*multiset.Multiset, 64)
+	for i := range cfgs {
+		cfg := multiset.New(c.NumRegisters())
+		sched.RandomComposition(rng, cfg, 60)
+		cfgs[i] = cfg
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(cfgs[i%len(cfgs)], 3)
+	}
+}
+
+// BenchmarkCompilePipeline lowers the construction's program (E4: the
+// Figure 3/5/6/7 lowering rules at scale).
+func BenchmarkCompilePipeline(b *testing.B) {
+	for n := 1; n <= 4; n++ {
+		c, err := core.New(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				m, err := compile.Compile(c.Program)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = m.Size()
+			}
+			b.ReportMetric(float64(size), "machine-size")
+		})
+	}
+}
+
+// BenchmarkConvertPipeline materialises a full protocol (E5: the Figure 4
+// instruction gadgets) for the Figure 1 machine.
+func BenchmarkConvertPipeline(b *testing.B) {
+	machine, err := compile.Compile(popprog.Figure1Program())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := convert.Convert(machine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Protocol.Transitions)), "transitions")
+	}
+}
+
+// BenchmarkTheorem3Decide decides m = k(n) with the construction (E6).
+func BenchmarkTheorem3Decide(b *testing.B) {
+	for n := 1; n <= 2; n++ {
+		c, err := core.New(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := c.K.Int64()
+		b.Run(fmt.Sprintf("n=%d/m=k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
+			var restarts int64
+			for i := 0; i < b.N; i++ {
+				res, err := popprog.DecideTotal(c.Program, k, popprog.DecideOptions{
+					Seed: int64(i), Budget: 6_000_000, TruthProb: 0.85, Attempts: 6,
+					RestartHint: c.RestartHint(), HintProb: 0.3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Output {
+					b.Fatalf("m=k=%d rejected", k)
+				}
+				restarts += res.Restarts
+			}
+			b.ReportMetric(float64(restarts)/float64(b.N), "restarts/decision")
+		})
+	}
+}
+
+// BenchmarkTheorem5Accounting measures the double-conversion size pipeline
+// (E9).
+func BenchmarkTheorem5Accounting(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Theorem5(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 5 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkLeaderElection runs ⟨elect⟩ to completion under random pairing
+// (E10, Lemma 15).
+func BenchmarkLeaderElection(b *testing.B) {
+	prog := &popprog.Program{
+		Name:      "ge1",
+		Registers: []string{"x"},
+		Procedures: []*popprog.Procedure{{
+			Name: "Main",
+			Body: []popprog.Stmt{
+				popprog.SetOF{Value: false},
+				popprog.While{Cond: popprog.Not{C: popprog.Detect{Reg: 0}}},
+				popprog.SetOF{Value: true},
+				popprog.While{Cond: popprog.True{}},
+			},
+		}},
+	}
+	machine, err := compile.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := convert.Convert(machine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := res.Protocol
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := p.InitialConfig(int64(res.NumPointers) + 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := sched.NewRandomPair(p, sched.NewRand(int64(i)))
+		steps := 0
+		for !res.Elected(c) {
+			s.Step(c)
+			steps++
+			if steps > 10_000_000 {
+				b.Fatal("election did not converge")
+			}
+		}
+		b.ReportMetric(float64(steps), "interactions")
+	}
+}
+
+// BenchmarkTheorem2Robustness runs the noisy-input comparison (E11).
+func BenchmarkTheorem2Robustness(b *testing.B) {
+	unary, err := baseline.UnaryThreshold(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		noisy, err := baseline.NoisyConfig(unary, []int64{2}, map[string]int64{"K": 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := explore.Explore(explore.NewProtocolSystem(unary),
+			[]*multiset.Multiset{noisy}, explore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Consensus().String() != "true" {
+			b.Fatal("the 1-aware baseline should be fooled")
+		}
+	}
+}
+
+// BenchmarkConvergence measures interactions-to-consensus under uniform
+// random pairing across population sizes (E12); the per-size metric should
+// grow super-linearly (Θ(m log m)–Θ(m²) interactions).
+func BenchmarkConvergence(b *testing.B) {
+	maj, err := baseline.Majority()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []int64{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("majority/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			var total int64
+			for i := 0; i < b.N; i++ {
+				s := sched.NewRandomPair(maj, sched.NewRand(int64(i)))
+				res, err := simulate.RunInput(maj, []int64{m/2 + 1, m / 2}, s,
+					simulate.Options{MaxSteps: 500_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Steps
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "interactions")
+		})
+	}
+}

@@ -1,0 +1,134 @@
+// Command ppanalyze prints the static analysis of a population program:
+// sizes, call graph, stack-depth bound, dead procedures, register usage,
+// and the inlined-size ablation (§4's succinctness argument, quantified).
+//
+// Usage:
+//
+//	ppanalyze -target figure1
+//	ppanalyze -target czerner:3
+//	ppanalyze -program path/to/file.pop
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/popprog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	target := flag.String("target", "figure1", "figure1 | czerner:n | equality:n")
+	programPath := flag.String("program", "", "path to a .pop program (overrides -target)")
+	flag.Parse()
+
+	prog, err := loadProgram(*target, *programPath)
+	if err != nil {
+		return err
+	}
+	report, err := analysis.Analyze(prog)
+	if err != nil {
+		return err
+	}
+	inlined, err := analysis.InlinedInstructionCount(prog)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("program %s\n", prog.Name)
+	fmt.Printf("  size:                %d (registers %d + instructions %d + swap-size %d)\n",
+		prog.Size(), len(prog.Registers), prog.InstructionCount(), prog.SwapSize())
+	fmt.Printf("  inlined size:        %d instructions (×%.1f)\n",
+		inlined, float64(inlined)/float64(prog.InstructionCount()))
+	fmt.Printf("  max call depth:      %d frames\n", report.MaxCallDepth)
+	fmt.Printf("  procedures:          %d (%d dead)\n",
+		len(prog.Procedures), len(report.DeadProcedures))
+	if len(report.DeadProcedures) > 0 {
+		names := make([]string, len(report.DeadProcedures))
+		for i, d := range report.DeadProcedures {
+			names[i] = prog.Procedures[d].Name
+		}
+		fmt.Printf("  dead procedures:     %s\n", strings.Join(names, ", "))
+	}
+	fmt.Println("  register usage:")
+	for i, use := range report.Registers {
+		var flags []string
+		if use.Detected {
+			flags = append(flags, "detect")
+		}
+		if use.MovedFrom {
+			flags = append(flags, "src")
+		}
+		if use.MovedTo {
+			flags = append(flags, "dst")
+		}
+		if use.Swapped {
+			flags = append(flags, "swap")
+		}
+		if use.Unused() {
+			flags = append(flags, "UNUSED")
+		}
+		fmt.Printf("    %-6s %s\n", prog.Registers[i], strings.Join(flags, ","))
+	}
+	fmt.Println("  call graph:")
+	for i, callees := range report.CallGraph {
+		if len(callees) == 0 {
+			continue
+		}
+		names := make([]string, len(callees))
+		for j, c := range callees {
+			names[j] = prog.Procedures[c].Name
+		}
+		fmt.Printf("    %-18s → %s\n", prog.Procedures[i].Name, strings.Join(names, ", "))
+	}
+	return nil
+}
+
+func loadProgram(target, programPath string) (*popprog.Program, error) {
+	if programPath != "" {
+		src, err := os.ReadFile(programPath)
+		if err != nil {
+			return nil, err
+		}
+		return popprog.Parse(string(src))
+	}
+	parts := strings.SplitN(target, ":", 2)
+	var param int
+	if len(parts) == 2 {
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		param = v
+	}
+	switch parts[0] {
+	case "figure1":
+		return popprog.Figure1Program(), nil
+	case "czerner":
+		c, err := core.New(param)
+		if err != nil {
+			return nil, err
+		}
+		return c.Program, nil
+	case "equality":
+		c, err := core.NewEquality(param)
+		if err != nil {
+			return nil, err
+		}
+		return c.Program, nil
+	default:
+		return nil, errors.New("unknown target")
+	}
+}

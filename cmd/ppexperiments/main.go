@@ -1,0 +1,65 @@
+// Command ppexperiments runs every experiment of the reproduction (E1–E15,
+// see DESIGN.md) and prints the regenerated tables.
+//
+// Usage:
+//
+//	ppexperiments [-markdown] [-quick] [-seed N]
+//
+// -quick shrinks every sweep to its smallest meaningful size (useful for
+// smoke tests); -markdown emits the tables in the format EXPERIMENTS.md
+// embeds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	quick := flag.Bool("quick", false, "small sweeps for a fast smoke run")
+	seed := flag.Int64("seed", 1, "seed for randomised experiments")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	if *quick {
+		cfg = experiments.Config{
+			Table1MaxN:        4,
+			Figure1MaxTotal:   6,
+			Figure1Exact:      false,
+			Theorem3MaxN:      5,
+			Theorem3SweepMaxN: 1,
+			Theorem5MaxN:      4,
+			ConvergenceSizes:  []int64{16, 32},
+			ConvergenceRuns:   3,
+			Seed:              *seed,
+		}
+	}
+
+	tables, err := experiments.All(cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if *markdown {
+			if err := t.Markdown(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

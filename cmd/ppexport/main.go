@@ -1,0 +1,166 @@
+// Command ppexport renders the repository's objects in exchange formats:
+// Graphviz DOT for protocol structures, machine control-flow graphs and
+// reachability graphs, and CSV for convergence traces.
+//
+// Usage:
+//
+//	ppexport -what protocol  -target majority                > majority.dot
+//	ppexport -what machine   -target figure1                 > figure1-cfg.dot
+//	ppexport -what machine   -target czerner:2               > construction.dot
+//	ppexport -what reach     -target majority -input 2,1     > reach.dot
+//	ppexport -what trace     -target majority -input 60,40   > trace.csv
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/multiset"
+	"repro/internal/popprog"
+	"repro/internal/protocol"
+	"repro/internal/sched"
+	"repro/internal/simulate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppexport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	what := flag.String("what", "protocol", "what to export: protocol | machine | reach | trace")
+	target := flag.String("target", "majority", "majority | unary:k | binary:j | remainder:m | figure1")
+	input := flag.String("input", "", "comma-separated input counts (reach/trace)")
+	seed := flag.Int64("seed", 1, "PRNG seed (trace)")
+	maxStates := flag.Int("max-states", 500, "reachability graph size cap")
+	period := flag.Int64("period", 100, "trace sampling period")
+	flag.Parse()
+
+	switch *what {
+	case "machine":
+		prog, err := buildProgram(*target)
+		if err != nil {
+			return err
+		}
+		m, err := compile.Compile(prog)
+		if err != nil {
+			return err
+		}
+		return export.MachineDOT(os.Stdout, m)
+	case "protocol", "reach", "trace":
+		p, err := buildProtocol(*target)
+		if err != nil {
+			return err
+		}
+		switch *what {
+		case "protocol":
+			return export.ProtocolDOT(os.Stdout, p)
+		case "reach":
+			counts, err := parseCounts(*input, len(p.Input))
+			if err != nil {
+				return err
+			}
+			c, err := p.InitialConfig(counts...)
+			if err != nil {
+				return err
+			}
+			return export.ReachabilityDOT(os.Stdout, p, []*multiset.Multiset{c}, *maxStates)
+		default:
+			counts, err := parseCounts(*input, len(p.Input))
+			if err != nil {
+				return err
+			}
+			s := sched.NewRandomPair(p, sched.NewRand(*seed))
+			_, trace, err := simulate.RunTraced(p, counts, s, *period, simulate.Options{})
+			if err != nil {
+				return err
+			}
+			return export.TraceCSV(os.Stdout, trace)
+		}
+	default:
+		return fmt.Errorf("unknown -what %q", *what)
+	}
+}
+
+func buildProgram(target string) (*popprog.Program, error) {
+	parts := strings.SplitN(target, ":", 2)
+	var param int
+	if len(parts) == 2 {
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		param = v
+	}
+	switch parts[0] {
+	case "figure1":
+		return popprog.Figure1Program(), nil
+	case "czerner":
+		c, err := core.New(param)
+		if err != nil {
+			return nil, err
+		}
+		return c.Program, nil
+	case "equality":
+		c, err := core.NewEquality(param)
+		if err != nil {
+			return nil, err
+		}
+		return c.Program, nil
+	default:
+		return nil, fmt.Errorf("unknown program target %q", target)
+	}
+}
+
+func buildProtocol(target string) (*protocol.Protocol, error) {
+	parts := strings.SplitN(target, ":", 2)
+	var param int64
+	if len(parts) == 2 {
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		param = v
+	}
+	switch parts[0] {
+	case "majority":
+		return baseline.Majority()
+	case "unary":
+		return baseline.UnaryThreshold(param)
+	case "binary":
+		return baseline.BinaryThreshold(int(param))
+	case "remainder":
+		return baseline.Remainder(param, 0)
+	default:
+		return nil, fmt.Errorf("unknown protocol target %q", target)
+	}
+}
+
+func parseCounts(s string, want int) ([]int64, error) {
+	if s == "" {
+		return nil, errors.New("-input is required for this export")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("need %d input counts, got %d", want, len(parts))
+	}
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

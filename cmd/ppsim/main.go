@@ -1,0 +1,215 @@
+// Command ppsim simulates the repository's protocols and programs.
+//
+// Usage:
+//
+//	ppsim -target majority -input 12,5
+//	ppsim -target unary:9 -input 11
+//	ppsim -target binary:4 -input 20
+//	ppsim -target figure1 -input 5
+//	ppsim -target czerner:2 -input 10
+//	ppsim -target equality:2 -input 10
+//	ppsim -program path/to/file.pop -input 5
+//
+// Protocol targets (majority, unary:k, binary:j, remainder:m) run under the
+// uniform random-pair scheduler and report interactions and parallel time.
+// Program targets (figure1, czerner:n, equality:n, or a .pop file given
+// with -program) run the population-program interpreter with a seeded
+// random oracle and report the stabilised output flag, steps and restarts.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/popprog"
+	"repro/internal/protocol"
+	"repro/internal/sched"
+	"repro/internal/simulate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	target := flag.String("target", "majority",
+		"what to simulate: majority | unary:k | binary:j | remainder:m | figure1 | czerner:n | equality:n")
+	programPath := flag.String("program", "", "path to a .pop population program (overrides -target)")
+	input := flag.String("input", "", "comma-separated input counts (protocols) or a total (programs)")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	budget := flag.Int64("budget", 0, "step budget (0 = default)")
+	scheduler := flag.String("scheduler", "pair", "protocol scheduler: pair | fair")
+	flag.Parse()
+
+	if *input == "" {
+		return errors.New("-input is required")
+	}
+	counts, err := parseCounts(*input)
+	if err != nil {
+		return err
+	}
+
+	if *programPath != "" {
+		src, err := os.ReadFile(*programPath)
+		if err != nil {
+			return err
+		}
+		prog, err := popprog.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		if len(counts) != 1 {
+			return errors.New("-program needs -input m (a single total)")
+		}
+		return simulateProgram(prog, counts[0], *seed, *budget, popprog.DecideOptions{})
+	}
+
+	name, param, err := splitTarget(*target)
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "majority":
+		p, err := baseline.Majority()
+		if err != nil {
+			return err
+		}
+		if len(counts) != 2 {
+			return errors.New("majority needs -input x,y")
+		}
+		return simulateProtocol(p, counts, *scheduler, *seed, *budget)
+	case "unary":
+		p, err := baseline.UnaryThreshold(param)
+		if err != nil {
+			return err
+		}
+		if len(counts) != 1 {
+			return errors.New("unary needs -input m")
+		}
+		return simulateProtocol(p, counts, *scheduler, *seed, *budget)
+	case "binary":
+		p, err := baseline.BinaryThreshold(int(param))
+		if err != nil {
+			return err
+		}
+		if len(counts) != 1 {
+			return errors.New("binary needs -input m")
+		}
+		return simulateProtocol(p, counts, *scheduler, *seed, *budget)
+	case "remainder":
+		if param < 1 {
+			return errors.New("remainder needs a positive modulus, e.g. remainder:3")
+		}
+		p, err := baseline.Remainder(param, 0)
+		if err != nil {
+			return err
+		}
+		if len(counts) != 1 {
+			return errors.New("remainder needs -input m")
+		}
+		return simulateProtocol(p, counts, *scheduler, *seed, *budget)
+	case "figure1":
+		if len(counts) != 1 {
+			return errors.New("figure1 needs -input m")
+		}
+		return simulateProgram(popprog.Figure1Program(), counts[0], *seed, *budget, popprog.DecideOptions{})
+	case "czerner", "equality":
+		var c *core.Construction
+		var err error
+		if name == "czerner" {
+			c, err = core.New(int(param))
+		} else {
+			c, err = core.NewEquality(int(param))
+		}
+		if err != nil {
+			return err
+		}
+		if len(counts) != 1 {
+			return errors.New("czerner/equality needs -input m")
+		}
+		fmt.Printf("construction: n=%d, threshold k=%s, program size %d\n",
+			c.Levels, c.K, c.Program.Size())
+		return simulateProgram(c.Program, counts[0], *seed, *budget, popprog.DecideOptions{
+			TruthProb: 0.85, RestartHint: c.RestartHint(), HintProb: 0.3,
+		})
+	default:
+		return fmt.Errorf("unknown target %q", *target)
+	}
+}
+
+func splitTarget(t string) (string, int64, error) {
+	parts := strings.SplitN(t, ":", 2)
+	if len(parts) == 1 {
+		return parts[0], 0, nil
+	}
+	v, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("target parameter %q: %w", parts[1], err)
+	}
+	return parts[0], v, nil
+}
+
+func parseCounts(s string) ([]int64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("input %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func simulateProtocol(p *protocol.Protocol, counts []int64, scheduler string, seed, budget int64) error {
+	rng := sched.NewRand(seed)
+	var s sched.Scheduler
+	switch scheduler {
+	case "pair":
+		s = sched.NewRandomPair(p, rng)
+	case "fair":
+		s = sched.NewTransitionFair(p, rng)
+	default:
+		return fmt.Errorf("unknown scheduler %q", scheduler)
+	}
+	opts := simulate.Options{MaxSteps: budget}
+	res, err := simulate.RunInput(p, counts, s, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol:      %s (%d states, %d transitions)\n",
+		p.Name, p.NumStates(), len(p.Transitions))
+	fmt.Printf("input:         %v (m = %d)\n", counts, res.Final.Size())
+	fmt.Printf("output:        %v\n", res.Output)
+	fmt.Printf("interactions:  %d (%d effective)\n", res.Steps, res.EffectiveSteps)
+	fmt.Printf("parallel time: %.1f\n", res.ParallelTime())
+	fmt.Printf("quiescent:     %v\n", res.Quiescent)
+	return nil
+}
+
+func simulateProgram(prog *popprog.Program, total, seed, budget int64, opts popprog.DecideOptions) error {
+	opts.Seed = seed
+	opts.Budget = budget
+	res, err := popprog.DecideTotal(prog, total, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program:  %s (size %d: %d registers, %d instructions, swap-size %d)\n",
+		prog.Name, prog.Size(), len(prog.Registers), prog.InstructionCount(), prog.SwapSize())
+	fmt.Printf("total:    %d agents\n", total)
+	fmt.Printf("output:   %v\n", res.Output)
+	fmt.Printf("steps:    %d\n", res.Steps)
+	fmt.Printf("restarts: %d\n", res.Restarts)
+	fmt.Printf("halted:   %v\n", res.Halted)
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/popprog"
+)
+
+func TestSplitTarget(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		param int64
+		ok    bool
+	}{
+		{"majority", "majority", 0, true},
+		{"unary:9", "unary", 9, true},
+		{"czerner:3", "czerner", 3, true},
+		{"unary:x", "", 0, false},
+	}
+	for _, tc := range cases {
+		name, param, err := splitTarget(tc.in)
+		if tc.ok && err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Fatalf("%q: expected error", tc.in)
+			}
+			continue
+		}
+		if name != tc.name || param != tc.param {
+			t.Fatalf("%q: got (%q, %d)", tc.in, name, param)
+		}
+	}
+}
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("12, 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 12 || got[1] != 5 {
+		t.Fatalf("parseCounts = %v", got)
+	}
+	if _, err := parseCounts("1,x"); err == nil {
+		t.Fatal("accepted a non-numeric count")
+	}
+}
+
+func TestSimulatePathsSmoke(t *testing.T) {
+	// Drive the protocol and program paths end to end (output to stdout).
+	p, err := baseline.Majority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simulateProtocol(p, []int64{6, 3}, "pair", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := simulateProtocol(p, []int64{6, 3}, "fair", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := simulateProtocol(p, []int64{6, 3}, "bogus", 1, 0); err == nil {
+		t.Fatal("accepted an unknown scheduler")
+	}
+	if err := simulateProgram(popprog.Figure1Program(), 5, 1, 300_000,
+		popprog.DecideOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+// Command ppstate prints the state-complexity comparison (Table 1 of the
+// paper, experiment E1): measured protocol state counts of the unary,
+// binary and double-exponential threshold constructions for each threshold
+// k(n) of the paper's family.
+//
+// Usage:
+//
+//	ppstate [-n max]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppstate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	maxN := flag.Int("n", 8, "largest construction level n to tabulate")
+	flag.Parse()
+	if *maxN < 1 {
+		return fmt.Errorf("-n must be at least 1, got %d", *maxN)
+	}
+	t, err := experiments.Table1(*maxN)
+	if err != nil {
+		return err
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,10 @@
+// Package repro is a complete Go implementation of "Breaking through the
+// Ω(n)-space barrier: Population Protocols Decide Double-exponential
+// Thresholds" (Philipp Czerner, brief announcement at PODC 2023).
+//
+// The library lives under internal/ (see DESIGN.md for the inventory);
+// runnable entry points are the commands under cmd/ and the programs under
+// examples/. The root package carries the benchmark harness: one benchmark
+// per reproduced table/figure (bench_test.go) plus design-choice ablations
+// (ablation_bench_test.go).
+package repro

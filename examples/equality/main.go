@@ -1,0 +1,66 @@
+// Equality: the §9 extension — the same O(n)-state machinery decides the
+// *exact-count* predicate x = k(n). The only change is the final invariant
+// loop, which additionally watches the surplus register R and flips the
+// output to false if any surplus is ever detected.
+//
+//	go run ./examples/equality
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/popprog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	c, err := core.NewEquality(2)
+	if err != nil {
+		return err
+	}
+	th, err := core.New(2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("equality construction: decide x = %s\n", c.K)
+	fmt.Printf("size %d (threshold variant: %d — the equality check costs %d extra units)\n\n",
+		c.Program.Size(), th.Program.Size(), c.Program.Size()-th.Program.Size())
+
+	for _, m := range []int64{8, 9, 10, 11, 12} {
+		res, err := popprog.DecideTotal(c.Program, m, popprog.DecideOptions{
+			Seed: m, Budget: 4_000_000, TruthProb: 0.85, Attempts: 5,
+			RestartHint: c.RestartHint(), HintProb: 0.3,
+		})
+		if err != nil {
+			return fmt.Errorf("m=%d: %w", m, err)
+		}
+		fmt.Printf("  m=%-3d → %-5v (expected %-5v)\n", m, res.Output, m == 10)
+	}
+
+	fmt.Println("\nModified Main (final loop watches R):")
+	fmt.Println(excerpt(c.Program.Format(), "procedure Main", 14))
+	return nil
+}
+
+// excerpt returns up to n lines starting at the line containing marker.
+func excerpt(text, marker string, n int) string {
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		if strings.Contains(line, marker) {
+			end := i + n
+			if end > len(lines) {
+				end = len(lines)
+			}
+			return strings.Join(lines[i:end], "\n")
+		}
+	}
+	return ""
+}

@@ -1,0 +1,227 @@
+// Package analysis provides static analysis of population programs: call
+// graphs, call-stack depth bounds, reachability of procedures, and register
+// usage. §4 of the paper relies on the call graph being acyclic so "the
+// size of the call stack remains bounded"; this package computes that bound
+// and the other structural facts the conversions depend on.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/popprog"
+)
+
+// RegisterUse summarises how a register is touched.
+type RegisterUse struct {
+	// Detected: appears in a detect condition.
+	Detected bool
+	// MovedFrom / MovedTo: source/target of a move instruction.
+	MovedFrom bool
+	MovedTo   bool
+	// Swapped: operand of a swap instruction.
+	Swapped bool
+}
+
+// Unused reports whether the register is never referenced at all.
+func (u RegisterUse) Unused() bool {
+	return !u.Detected && !u.MovedFrom && !u.MovedTo && !u.Swapped
+}
+
+// Report is the result of Analyze.
+type Report struct {
+	// CallGraph[i] lists the procedures invoked by procedure i (deduped,
+	// sorted).
+	CallGraph [][]int
+	// MaxCallDepth is the longest chain of nested calls starting from
+	// Main, counting Main itself (so a call-free Main has depth 1). This
+	// bounds the call-stack size of every execution (§4).
+	MaxCallDepth int
+	// Reachable[i] reports whether procedure i is reachable from Main.
+	Reachable []bool
+	// DeadProcedures lists unreachable procedure indices.
+	DeadProcedures []int
+	// Registers holds per-register usage.
+	Registers []RegisterUse
+	// UnusedRegisters lists registers that are never referenced.
+	UnusedRegisters []int
+	// ProcInstructions counts the instructions of each procedure (same
+	// counting rules as Program.InstructionCount).
+	ProcInstructions []int
+}
+
+// Analyze validates and analyses the program.
+func Analyze(p *popprog.Program) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	n := len(p.Procedures)
+	r := &Report{
+		CallGraph:        make([][]int, n),
+		Reachable:        make([]bool, n),
+		Registers:        make([]RegisterUse, len(p.Registers)),
+		ProcInstructions: make([]int, n),
+	}
+
+	for i, proc := range p.Procedures {
+		callees := make(map[int]bool)
+		count := 0
+		walkStmts(proc.Body, func(s popprog.Stmt) {
+			switch st := s.(type) {
+			case popprog.Move:
+				r.Registers[st.From].MovedFrom = true
+				r.Registers[st.To].MovedTo = true
+				count++
+			case popprog.Swap:
+				r.Registers[st.A].Swapped = true
+				r.Registers[st.B].Swapped = true
+				count++
+			case popprog.SetOF, popprog.Restart, popprog.Return:
+				count++
+			case popprog.Call:
+				callees[st.Proc] = true
+				count++
+			}
+		}, func(c popprog.Cond) {
+			switch cd := c.(type) {
+			case popprog.Detect:
+				r.Registers[cd.Reg].Detected = true
+				count++
+			case popprog.CallCond:
+				callees[cd.Proc] = true
+				count++
+			}
+		})
+		out := make([]int, 0, len(callees))
+		for c := range callees {
+			out = append(out, c)
+		}
+		sort.Ints(out)
+		r.CallGraph[i] = out
+		r.ProcInstructions[i] = count
+	}
+
+	mainIdx := p.ProcIndex("Main")
+
+	// Reachability from Main.
+	var visit func(int)
+	visit = func(u int) {
+		if r.Reachable[u] {
+			return
+		}
+		r.Reachable[u] = true
+		for _, v := range r.CallGraph[u] {
+			visit(v)
+		}
+	}
+	visit(mainIdx)
+	for i := range p.Procedures {
+		if !r.Reachable[i] {
+			r.DeadProcedures = append(r.DeadProcedures, i)
+		}
+	}
+
+	// Longest call chain from Main (the call graph is a DAG — Validate
+	// guarantees acyclicity).
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var longest func(int) int
+	longest = func(u int) int {
+		if depth[u] >= 0 {
+			return depth[u]
+		}
+		best := 0
+		for _, v := range r.CallGraph[u] {
+			if d := longest(v); d > best {
+				best = d
+			}
+		}
+		depth[u] = best + 1
+		return depth[u]
+	}
+	r.MaxCallDepth = longest(mainIdx)
+
+	for i, use := range r.Registers {
+		if use.Unused() {
+			r.UnusedRegisters = append(r.UnusedRegisters, i)
+		}
+	}
+	return r, nil
+}
+
+// InlinedInstructionCount returns the instruction count the program would
+// have if every procedure call were inlined (§4: "one could inline every
+// procedure call. The main reason to make use of procedures at all is
+// succinctness"). Computed as cost(Main) with cost(p) = own instructions +
+// Σ cost(callee) per call site, memoised over the acyclic call graph —
+// no program is materialised. For the paper's construction this grows
+// exponentially in n while the modular size stays linear, which is exactly
+// why population programs need procedures.
+func InlinedInstructionCount(p *popprog.Program) (int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("analysis: %w", err)
+	}
+	memo := make([]int64, len(p.Procedures))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var cost func(int) int64
+	cost = func(pi int) int64 {
+		if memo[pi] >= 0 {
+			return memo[pi]
+		}
+		var total int64
+		walkStmts(p.Procedures[pi].Body, func(s popprog.Stmt) {
+			switch st := s.(type) {
+			case popprog.Call:
+				// The call itself disappears; the callee's body is pasted.
+				total += cost(st.Proc)
+			case popprog.Move, popprog.Swap, popprog.SetOF, popprog.Restart, popprog.Return:
+				total++
+			}
+		}, func(c popprog.Cond) {
+			switch cd := c.(type) {
+			case popprog.Detect:
+				total++
+			case popprog.CallCond:
+				total += cost(cd.Proc)
+			}
+		})
+		memo[pi] = total
+		return total
+	}
+	return cost(p.ProcIndex("Main")), nil
+}
+
+// walkStmts applies fn to every statement and condFn to every condition,
+// recursively.
+func walkStmts(stmts []popprog.Stmt, fn func(popprog.Stmt), condFn func(popprog.Cond)) {
+	for _, s := range stmts {
+		fn(s)
+		switch st := s.(type) {
+		case popprog.If:
+			walkCond(st.Cond, condFn)
+			walkStmts(st.Then, fn, condFn)
+			walkStmts(st.Else, fn, condFn)
+		case popprog.While:
+			walkCond(st.Cond, condFn)
+			walkStmts(st.Body, fn, condFn)
+		}
+	}
+}
+
+func walkCond(c popprog.Cond, fn func(popprog.Cond)) {
+	fn(c)
+	switch cd := c.(type) {
+	case popprog.Not:
+		walkCond(cd.C, fn)
+	case popprog.And:
+		walkCond(cd.L, fn)
+		walkCond(cd.R, fn)
+	case popprog.Or:
+		walkCond(cd.L, fn)
+		walkCond(cd.R, fn)
+	}
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/popprog"
+)
+
+func TestAnalyzeFigure1(t *testing.T) {
+	r, err := Analyze(popprog.Figure1Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Main calls Test(4), Test(7) and Clean; none of them call anything.
+	if got := r.CallGraph[0]; len(got) != 3 {
+		t.Fatalf("Main callees = %v", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if len(r.CallGraph[i]) != 0 {
+			t.Fatalf("procedure %d has callees %v", i, r.CallGraph[i])
+		}
+	}
+	// Depth: Main → leaf = 2 frames.
+	if r.MaxCallDepth != 2 {
+		t.Fatalf("MaxCallDepth = %d, want 2", r.MaxCallDepth)
+	}
+	if len(r.DeadProcedures) != 0 {
+		t.Fatalf("dead procedures %v", r.DeadProcedures)
+	}
+	// Register usage: x moved both ways and detected; z only detected.
+	x, z := r.Registers[0], r.Registers[2]
+	if !x.Detected || !x.MovedFrom || !x.MovedTo || !x.Swapped {
+		t.Fatalf("x usage %+v", x)
+	}
+	if !z.Detected || z.MovedFrom || z.MovedTo || z.Swapped {
+		t.Fatalf("z usage %+v", z)
+	}
+	if len(r.UnusedRegisters) != 0 {
+		t.Fatalf("unused registers %v", r.UnusedRegisters)
+	}
+	// Instruction counts agree with the program-level total.
+	total := 0
+	for _, c := range r.ProcInstructions {
+		total += c
+	}
+	if total != popprog.Figure1Program().InstructionCount() {
+		t.Fatalf("per-procedure counts sum to %d, want %d",
+			total, popprog.Figure1Program().InstructionCount())
+	}
+}
+
+func TestAnalyzeDetectsDeadProcedures(t *testing.T) {
+	p := &popprog.Program{
+		Name:      "dead",
+		Registers: []string{"a"},
+		Procedures: []*popprog.Procedure{
+			{Name: "Main", Body: []popprog.Stmt{popprog.While{Cond: popprog.True{}}}},
+			{Name: "Ghost", Body: []popprog.Stmt{popprog.Restart{}}},
+		},
+	}
+	r, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DeadProcedures) != 1 || r.DeadProcedures[0] != 1 {
+		t.Fatalf("DeadProcedures = %v", r.DeadProcedures)
+	}
+	if r.MaxCallDepth != 1 {
+		t.Fatalf("MaxCallDepth = %d, want 1", r.MaxCallDepth)
+	}
+	if len(r.UnusedRegisters) != 1 {
+		t.Fatalf("register a is unused in the reachable program... by Main: %v", r.UnusedRegisters)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	if _, err := Analyze(&popprog.Program{Name: "bad"}); err == nil {
+		t.Fatal("accepted an invalid program")
+	}
+}
+
+// The construction's call depth must grow linearly with n: Main →
+// AssertProper(n) → … → Large(level i) → Zero(level i−1) → … — the §4
+// requirement that the stack stays bounded, quantified.
+func TestAnalyzeConstructionDepthLinear(t *testing.T) {
+	var depths []int
+	for n := 1; n <= 5; n++ {
+		c, err := core.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Analyze(c.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The construction instantiates the paper's full procedure
+		// families, so exactly nine boundary instantiations are dead for
+		// every n: AssertEmpty(1) (Main only asserts levels ≥ 2), the two
+		// top-level IncrPair copies and the four top-level Zero copies
+		// (only a level-(n+1) Large would call them), and the two
+		// top-level non-bar Large copies (only the dead Zeros call them).
+		// A constant overhead, as the paper's own O(n) accounting implies.
+		if len(r.DeadProcedures) != 9 {
+			var names []string
+			for _, d := range r.DeadProcedures {
+				names = append(names, c.Program.Procedures[d].Name)
+			}
+			t.Fatalf("n=%d: dead procedures %v, want exactly the 9 boundary instantiations", n, names)
+		}
+		if len(r.UnusedRegisters) != 0 {
+			t.Fatalf("n=%d: construction has unused registers %v", n, r.UnusedRegisters)
+		}
+		depths = append(depths, r.MaxCallDepth)
+	}
+	// Strictly increasing with a constant increment from n = 2 on.
+	d := depths[2] - depths[1]
+	if d <= 0 {
+		t.Fatalf("depths not increasing: %v", depths)
+	}
+	for i := 3; i < len(depths); i++ {
+		if depths[i]-depths[i-1] != d {
+			t.Fatalf("depth increments not constant: %v", depths)
+		}
+	}
+	t.Logf("construction call depths: %v (+%d per level)", depths, d)
+}

@@ -1,0 +1,147 @@
+// Package baseline implements the prior-work protocols the paper compares
+// against (Table 1 and §1):
+//
+//   - Majority: the classic 4-state exact-majority protocol deciding
+//     x ≥ y, the paper's introductory example.
+//   - UnaryThreshold: the "flock of birds" protocol for x ≥ k in the style
+//     of Angluin et al. [4], using Θ(k) states — exponential in the binary
+//     predicate size |τ_k| = Θ(log k).
+//   - BinaryThreshold: a Blondin–Esparza–Jaax [14]-style protocol for
+//     x ≥ 2^j using Θ(j) = Θ(log k) states — linear in |τ_k|, the
+//     "succinct" row of Table 1. (We implement the power-of-two subfamily;
+//     like the paper's own construction, upper bounds need only hold for
+//     infinitely many k.)
+//
+// Both threshold baselines are 1-aware in the sense of [14]: a single agent
+// that knows the threshold was exceeded (state "K") forces acceptance. The
+// robustness experiment (Theorem 2, E11) exploits exactly this: one noise
+// agent planted in K makes them accept any population, whereas the paper's
+// construction tolerates arbitrary noise.
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+// Majority returns the 4-state protocol deciding x ≥ y. States X, Y are the
+// strong (input) opinions; x, y are weak. Ties break toward acceptance, so
+// the decided predicate is x ≥ y (not strict majority).
+func Majority() (*protocol.Protocol, error) {
+	b := protocol.NewBuilder("majority")
+	b.Input("X", "Y")
+	b.Transition("X", "Y", "x", "x") // cancellation; tie bias toward accept
+	b.Transition("X", "y", "X", "x") // strong accept converts weak reject
+	b.Transition("Y", "x", "Y", "y") // strong reject converts weak accept
+	b.Transition("x", "y", "x", "x") // weak cleanup so ties reach consensus
+	b.Accepting("X", "x")
+	return b.Build()
+}
+
+// MajorityPredicate is the predicate Majority decides, over its input
+// states in order (X, Y).
+func MajorityPredicate(in []int64) bool { return in[0] >= in[1] }
+
+// UnaryThreshold returns the flock-of-birds protocol deciding x ≥ k using
+// k+1 states: values 0..k-1 plus the absorbing accept state K. Agents pool
+// their values pairwise; once any agent accumulates k, it switches to K and
+// converts everyone.
+func UnaryThreshold(k int64) (*protocol.Protocol, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: threshold must be ≥ 1, got %d", k)
+	}
+	b := protocol.NewBuilder(fmt.Sprintf("unary-threshold-%d", k))
+	value := func(v int64) string {
+		if v >= k {
+			return "K"
+		}
+		return "v" + strconv.FormatInt(v, 10)
+	}
+	b.Input(value(1)) // each input agent carries one unit
+	for i := int64(1); i < k; i++ {
+		for j := int64(1); j <= i; j++ {
+			// Pooling: i, j ↦ i+j, 0 (capped at K).
+			b.Transition(value(i), value(j), value(i+j), value(0))
+		}
+	}
+	// K is absorbing and converts everyone it meets.
+	for i := int64(0); i < k; i++ {
+		b.Transition("K", value(i), "K", "K")
+	}
+	b.Accepting("K")
+	// k = 1 never uses state v0; ensure it exists for uniform accounting.
+	b.State(value(0))
+	return b.Build()
+}
+
+// ThresholdPredicate returns the predicate x ≥ k over a single input count.
+func ThresholdPredicate(k int64) protocol.Predicate {
+	return func(in []int64) bool { return in[0] >= k }
+}
+
+// BinaryThreshold returns a succinct protocol deciding x ≥ 2^j using j+3
+// states: exponents e0..ej (an agent in state ei carries value 2^i), the
+// empty state z (value 0), and the absorbing accept state K.
+//
+// Two agents holding equal powers 2^i merge into 2^(i+1) plus an empty
+// agent. An agent reaching 2^j switches to K; K converts everyone. If the
+// population is smaller than 2^j, merging gets stuck with all-distinct
+// powers summing to < 2^j, which is a (correct) rejecting consensus.
+func BinaryThreshold(j int) (*protocol.Protocol, error) {
+	if j < 0 {
+		return nil, fmt.Errorf("baseline: exponent must be ≥ 0, got %d", j)
+	}
+	b := protocol.NewBuilder(fmt.Sprintf("binary-threshold-2^%d", j))
+	exp := func(i int) string { return "e" + strconv.Itoa(i) }
+	b.Input(exp(0)) // each input agent carries 2^0 = 1
+	if j == 0 {
+		// x ≥ 1 holds for every non-empty population: accept immediately.
+		// A single self-loopless rename: e0 is itself accepting.
+		b.Accepting(exp(0))
+		b.State("z")
+		b.State("K")
+		b.Accepting("K")
+		b.Transition("K", "z", "K", "K")
+		return b.Build()
+	}
+	for i := 0; i < j; i++ {
+		next := exp(i + 1)
+		if i+1 == j {
+			next = "K"
+		}
+		b.Transition(exp(i), exp(i), next, "z")
+	}
+	// K is absorbing.
+	for i := 0; i < j; i++ {
+		b.Transition("K", exp(i), "K", "K")
+	}
+	b.Transition("K", "z", "K", "K")
+	b.Accepting("K")
+	return b.Build()
+}
+
+// NoisyConfig builds the configuration C_I + C_N of §1 "Robustness": the
+// intended initial configuration from inputCounts plus a noise configuration
+// given as state-name → agent-count. It is used by the robustness
+// experiments to show the baselines are 1-aware (one noise agent in "K"
+// flips their decision) while the paper's construction is not.
+func NoisyConfig(p *protocol.Protocol, inputCounts []int64, noise map[string]int64) (*multiset.Multiset, error) {
+	c, err := p.InitialConfig(inputCounts...)
+	if err != nil {
+		return nil, err
+	}
+	for state, count := range noise {
+		idx := p.StateIndex(state)
+		if idx < 0 {
+			return nil, fmt.Errorf("baseline: protocol %q has no state %q", p.Name, state)
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("baseline: negative noise count %d for %q", count, state)
+		}
+		c.Add(idx, count)
+	}
+	return c, nil
+}

@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"repro/internal/protocol"
+)
+
+// BinaryThresholdGeneral returns a succinct protocol deciding x ≥ k for an
+// *arbitrary* k ≥ 1 with Θ(log k) states — the full generality of the
+// Blondin–Esparza–Jaax row of Table 1 (BinaryThreshold covers only powers
+// of two).
+//
+// Write k in binary with top bit L and set-bit positions j₁ > j₂ > … > j_s
+// (so j₁ = L). States: tokens T_i carrying value 2^i (i ≤ L), accumulators
+// A_t carrying the partial sum p_t = 2^{j₁} + … + 2^{j_t}, the empty state
+// z, and the absorbing accept state K.
+//
+//   - T_i, T_i ↦ T_{i+1}, z       for i < L (merging, capped at 2^L)
+//   - T_L, T_L ↦ K, z             (2^{L+1} > k: overshoot)
+//   - T_L, z   ↦ A₁, z            (seed the accumulator; A_s ≡ K)
+//   - A_t, T_j ↦ A_{t+1}, z       for j = j_{t+1} (consume the next bit)
+//   - A_t, T_i ↦ K, z             for i > j_{t+1} (p_t + 2^i > k: overshoot)
+//   - A_t, A_u ↦ K, z             (two accumulators ⇒ ≥ 2^{L+1} > k)
+//   - K, q     ↦ K, K             (absorb everyone)
+//
+// Soundness: every K-creating rule certifies a combined value ≥ k held by
+// just two agents. Completeness: if the tokens below the needed bit are all
+// distinct powers, they sum to < 2^{j_{t+1}}, so a stuck configuration has
+// total < k; otherwise two equal powers can merge, so progress is always
+// possible — every fair run from x ≥ k accepts. Both directions are
+// verified exhaustively by the tests for k ≤ 10.
+func BinaryThresholdGeneral(k int64) (*protocol.Protocol, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: threshold must be ≥ 1, got %d", k)
+	}
+	b := protocol.NewBuilder(fmt.Sprintf("binary-threshold-%d", k))
+	token := func(i int) string { return "t" + strconv.Itoa(i) }
+
+	if k == 1 {
+		// x ≥ 1 holds for every non-empty population.
+		b.Input(token(0))
+		b.Accepting(token(0))
+		return b.Build()
+	}
+
+	l := bits.Len64(uint64(k)) - 1 // top bit position
+	var setBits []int              // j₁ > j₂ > … > j_s
+	for i := l; i >= 0; i-- {
+		if k&(1<<uint(i)) != 0 {
+			setBits = append(setBits, i)
+		}
+	}
+	s := len(setBits)
+	acc := func(t int) string {
+		if t >= s {
+			return "K"
+		}
+		return "a" + strconv.Itoa(t)
+	}
+
+	b.Input(token(0))
+	// Token merging, capped at 2^L.
+	for i := 0; i < l; i++ {
+		b.Transition(token(i), token(i), token(i+1), "z")
+	}
+	b.Transition(token(l), token(l), "K", "z")
+	// Seed the accumulator (A₁ holds 2^{j₁} = 2^L). If s = 1, k = 2^L and
+	// holding 2^L is already enough.
+	b.Transition(token(l), "z", acc(1), "z")
+	// Consume bits / overshoot.
+	for t := 1; t < s; t++ {
+		next := setBits[t] // j_{t+1} in 1-based math notation
+		b.Transition(acc(t), token(next), acc(t+1), "z")
+		for i := next + 1; i <= l; i++ {
+			b.Transition(acc(t), token(i), "K", "z")
+		}
+		for u := 1; u < s; u++ {
+			b.Transition(acc(t), acc(u), "K", "z")
+		}
+	}
+	// K absorbs everyone.
+	for i := 0; i <= l; i++ {
+		b.Transition("K", token(i), "K", "K")
+	}
+	for t := 1; t < s; t++ {
+		b.Transition("K", acc(t), "K", "K")
+	}
+	b.Transition("K", "z", "K", "K")
+	b.Accepting("K")
+	return b.Build()
+}

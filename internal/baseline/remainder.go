@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/protocol"
+)
+
+// Remainder returns the classic protocol deciding x ≡ r (mod m) with
+// 2m + 2 states, in the style of Angluin et al. [4]. §9 of the paper
+// raises remainder predicates as the natural next target for succinct
+// constructions ("is the total number of agents even") — this baseline
+// provides the standard-size reference point.
+//
+// Each agent starts active with value 1. Active agents merge: one keeps
+// the sum mod m, the other becomes passive and copies the current verdict.
+// Active agents continually refresh passive agents' verdicts, so once a
+// single active agent holds x mod m, its verdict propagates and stabilises.
+// States: active a0..a(m-1), passive p0/p1 (verdict bit).
+func Remainder(m, r int64) (*protocol.Protocol, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: modulus must be ≥ 1, got %d", m)
+	}
+	if r < 0 || r >= m {
+		return nil, fmt.Errorf("baseline: residue %d outside [0, %d)", r, m)
+	}
+	b := protocol.NewBuilder(fmt.Sprintf("remainder-%d-mod-%d", r, m))
+	active := func(v int64) string { return "a" + strconv.FormatInt(v%m, 10) }
+	passive := func(ok bool) string {
+		if ok {
+			return "p1"
+		}
+		return "p0"
+	}
+	b.Input(active(1 % m))
+	for u := int64(0); u < m; u++ {
+		for v := int64(0); v < m; v++ {
+			sum := (u + v) % m
+			b.Transition(active(u), active(v), active(sum), passive(sum == r))
+		}
+		// Refresh passive verdicts to the active agent's current view.
+		b.Transition(active(u), passive(true), active(u), passive(u == r))
+		b.Transition(active(u), passive(false), active(u), passive(u == r))
+	}
+	for v := int64(0); v < m; v++ {
+		if v == r {
+			b.Accepting(active(v))
+		}
+	}
+	b.Accepting(passive(true))
+	b.State(passive(false))
+	return b.Build()
+}
+
+// RemainderPredicate returns the predicate x ≡ r (mod m) over a single
+// input count.
+func RemainderPredicate(m, r int64) protocol.Predicate {
+	return func(in []int64) bool { return in[0]%m == r }
+}

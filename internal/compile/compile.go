@@ -1,0 +1,355 @@
+// Package compile lowers population programs (§4) to population machines
+// (§7.1), following §7.2 / Appendix B.2 of the paper:
+//
+//   - if/while compile to detect + conditional jumps on CF (Figure 5);
+//   - procedure calls set a per-procedure return pointer whose domain is
+//     pruned to the actual call sites, then jump; return propagates the
+//     boolean result through CF and jumps through the pointer (Figure 6);
+//   - swap rewrites the register map via V_□ (Figure 3, lines 5–7);
+//   - restart compiles to a helper that nondeterministically redistributes
+//     all agents through a fixed register and jumps back to instruction 1
+//     (Figure 7);
+//   - the machine starts with a call to Main followed by an infinite loop
+//     in case Main returns.
+//
+// Proposition 14: the resulting machine has size O(program size); the
+// package's tests measure the constants.
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/popmachine"
+	"repro/internal/popprog"
+)
+
+// label is a forward-referencable instruction address.
+type label struct {
+	addr  int // 1-based instruction index; 0 = unbound
+	bound bool
+}
+
+// jumpSite records an emitted jump whose targets await label resolution.
+type jumpSite struct {
+	instr   int // 1-based index of the AssignInstr to patch
+	onTrue  *label
+	onFalse *label // equal to onTrue for unconditional jumps
+}
+
+// retSite records a return jump through a procedure pointer; its identity
+// function table is built once the pointer's domain is final.
+type retSite struct {
+	instr int
+	proc  int
+}
+
+type compiler struct {
+	prog *popprog.Program
+	b    *popmachine.Builder
+	m    *popmachine.Machine
+
+	procLabel []*label
+	procPtr   []int   // pointer index per procedure
+	procRets  [][]int // return addresses per procedure
+	restart   *label
+
+	jumps []jumpSite
+	rets  []retSite
+}
+
+// Compile lowers a validated population program to a population machine.
+func Compile(prog *popprog.Program) (*popmachine.Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	c := &compiler{
+		prog:      prog,
+		b:         popmachine.NewBuilder(prog.Name+"-machine", prog.Registers),
+		procLabel: make([]*label, len(prog.Procedures)),
+		procPtr:   make([]int, len(prog.Procedures)),
+		procRets:  make([][]int, len(prog.Procedures)),
+		restart:   &label{},
+	}
+	c.m = c.b.Machine()
+
+	// Register-map pointer domains from the swap closure (App. B.2:
+	// "we prune ℱ_{V_x} to contain only necessary elements; the sum
+	// Σ|ℱ_{V_x}| then matches the swap-size").
+	classes := prog.SwapClasses()
+	var boxDomain []int
+	for _, comp := range classes {
+		for _, r := range comp {
+			c.b.SetVDomain(r, comp)
+		}
+		boxDomain = append(boxDomain, comp...)
+	}
+	if len(boxDomain) > 0 {
+		sort.Ints(boxDomain)
+		c.b.SetVBoxDomain(boxDomain)
+	}
+
+	// Procedure pointers; domains are pruned to call sites in finish().
+	for i, proc := range prog.Procedures {
+		c.procLabel[i] = &label{}
+		c.procPtr[i] = c.b.AddPointer("P_"+proc.Name, []int{1}, 1) // placeholder domain
+	}
+
+	c.emitProgram()
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return c.m, nil
+}
+
+// --- emission helpers ---
+
+func (c *compiler) bind(l *label) {
+	if l.bound {
+		panic("compile: label bound twice")
+	}
+	l.addr = c.b.Next()
+	l.bound = true
+}
+
+func (c *compiler) emitJump(l *label) {
+	idx := c.b.Emit(popmachine.Jump(c.m, 1)) // placeholder target
+	c.jumps = append(c.jumps, jumpSite{instr: idx, onTrue: l, onFalse: l})
+}
+
+func (c *compiler) emitCondJump(onTrue, onFalse *label) {
+	idx := c.b.Emit(popmachine.CondJump(c.m, 1, 1)) // placeholder targets
+	c.jumps = append(c.jumps, jumpSite{instr: idx, onTrue: onTrue, onFalse: onFalse})
+}
+
+// emitCall emits "P := retAddr; goto proc" and records the return address
+// in the pointer's domain. After the callee returns, execution continues at
+// the instruction following the jump, with CF holding any boolean result.
+func (c *compiler) emitCall(proc int) {
+	setPtr := c.b.Next()
+	retAddr := setPtr + 2 // const-assign + jump
+	c.b.Emit(popmachine.ConstAssign(c.m, c.procPtr[proc], retAddr))
+	c.emitJump(c.procLabel[proc])
+	c.procRets[proc] = append(c.procRets[proc], retAddr)
+}
+
+// emitReturn emits "CF := value (if any); IP := P".
+func (c *compiler) emitReturn(proc int, hasValue, value bool) {
+	if hasValue {
+		v := popmachine.ValFalse
+		if value {
+			v = popmachine.ValTrue
+		}
+		c.b.Emit(popmachine.ConstAssign(c.m, c.m.CF, v))
+	}
+	idx := c.b.Emit(popmachine.AssignInstr{
+		X: c.m.IP, Y: c.procPtr[proc],
+		F:       map[int]int{1: 1}, // placeholder; rebuilt in finish()
+		Comment: "return",
+	})
+	c.rets = append(c.rets, retSite{instr: idx, proc: proc})
+}
+
+// --- program structure ---
+
+func (c *compiler) emitProgram() {
+	mainIdx := c.prog.ProcIndex("Main")
+
+	// 1: P_Main := 3;  2: goto Main;  3: spin.
+	c.emitCall(mainIdx)
+	spin := &label{}
+	c.bind(spin)
+	c.emitJump(spin)
+
+	// Restart helper (Figure 7): funnel every register through register 0,
+	// then jump back to instruction 1. Detects may fail at any time, so any
+	// redistribution with the same total is reachable.
+	c.bind(c.restart)
+	const hub = 0
+	for y := range c.prog.Registers {
+		if y != hub {
+			c.emitDrainLoop(y, hub)
+		}
+	}
+	for z := range c.prog.Registers {
+		if z != hub {
+			c.emitDrainLoop(hub, z)
+		}
+	}
+	one := &label{addr: 1, bound: true}
+	c.emitJump(one)
+
+	// Procedure bodies.
+	for i, proc := range c.prog.Procedures {
+		c.bind(c.procLabel[i])
+		c.emitStmts(i, proc.Body)
+		// Implicit return for bodies that fall off the end; boolean
+		// procedures yield false, matching the interpreter.
+		c.emitReturn(i, proc.Returns, false)
+	}
+}
+
+// emitDrainLoop emits "while detect from > 0 { from ↦ to }".
+func (c *compiler) emitDrainLoop(from, to int) {
+	top := &label{}
+	done := &label{}
+	body := &label{}
+	c.bind(top)
+	c.b.Emit(popmachine.DetectInstr{X: from})
+	c.emitCondJump(body, done)
+	c.bind(body)
+	c.b.Emit(popmachine.MoveInstr{X: from, Y: to})
+	c.emitJump(top)
+	c.bind(done)
+}
+
+func (c *compiler) emitStmts(proc int, stmts []popprog.Stmt) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case popprog.Move:
+			c.b.Emit(popmachine.MoveInstr{X: st.From, Y: st.To})
+		case popprog.Swap:
+			// Figure 3 lines 5–7: rotate the register map through V_□.
+			c.b.Emit(c.identity(c.m.VBox, c.m.VReg[st.A]))
+			c.b.Emit(c.identity(c.m.VReg[st.A], c.m.VReg[st.B]))
+			c.b.Emit(c.identity(c.m.VReg[st.B], c.m.VBox))
+		case popprog.SetOF:
+			v := popmachine.ValFalse
+			if st.Value {
+				v = popmachine.ValTrue
+			}
+			c.b.Emit(popmachine.ConstAssign(c.m, c.m.OF, v))
+		case popprog.Restart:
+			c.emitJump(c.restart)
+		case popprog.Return:
+			c.emitReturn(proc, st.HasValue, st.Value)
+		case popprog.Call:
+			c.emitCall(st.Proc)
+		case popprog.If:
+			thenL, elseL, doneL := &label{}, &label{}, &label{}
+			c.emitCond(st.Cond, thenL, elseL)
+			c.bind(thenL)
+			c.emitStmts(proc, st.Then)
+			c.emitJump(doneL)
+			c.bind(elseL)
+			c.emitStmts(proc, st.Else)
+			c.bind(doneL)
+		case popprog.While:
+			topL, bodyL, doneL := &label{}, &label{}, &label{}
+			c.bind(topL)
+			c.emitCond(st.Cond, bodyL, doneL)
+			c.bind(bodyL)
+			c.emitStmts(proc, st.Body)
+			c.emitJump(topL)
+			c.bind(doneL)
+		default:
+			panic(fmt.Sprintf("compile: unknown statement %T", s))
+		}
+	}
+}
+
+// emitCond compiles a condition with short-circuit jump targets.
+func (c *compiler) emitCond(cond popprog.Cond, onTrue, onFalse *label) {
+	switch cd := cond.(type) {
+	case popprog.Detect:
+		c.b.Emit(popmachine.DetectInstr{X: cd.Reg})
+		c.emitCondJump(onTrue, onFalse)
+	case popprog.CallCond:
+		c.emitCall(cd.Proc)
+		c.emitCondJump(onTrue, onFalse)
+	case popprog.Not:
+		c.emitCond(cd.C, onFalse, onTrue)
+	case popprog.And:
+		mid := &label{}
+		c.emitCond(cd.L, mid, onFalse)
+		c.bind(mid)
+		c.emitCond(cd.R, onTrue, onFalse)
+	case popprog.Or:
+		mid := &label{}
+		c.emitCond(cd.L, onTrue, mid)
+		c.bind(mid)
+		c.emitCond(cd.R, onTrue, onFalse)
+	case popprog.True:
+		c.emitJump(onTrue)
+	default:
+		panic(fmt.Sprintf("compile: unknown condition %T", cond))
+	}
+}
+
+// identity builds X := Y. Values of Y outside X's domain are clamped to an
+// arbitrary element: within a swap triple V_□ only ever carries values from
+// the swap class being rotated, which is a subset of both domains, so the
+// clamped entries are unreachable — they exist only to keep f total as
+// Definition 6 requires.
+func (c *compiler) identity(x, y int) popmachine.AssignInstr {
+	xDom := c.m.Pointers[x]
+	f := make(map[int]int, len(c.m.Pointers[y].Domain))
+	for _, v := range c.m.Pointers[y].Domain {
+		if xDom.HasValue(v) {
+			f[v] = v
+		} else {
+			f[v] = xDom.Domain[0]
+		}
+	}
+	return popmachine.AssignInstr{X: x, Y: y, F: f}
+}
+
+// finish resolves labels, builds procedure pointer domains and return
+// tables, and validates the machine.
+func (c *compiler) finish() error {
+	// Procedure pointer domains = recorded call-site return addresses.
+	for i, rets := range c.procRets {
+		p := c.m.Pointers[c.procPtr[i]]
+		if len(rets) == 0 {
+			// Never called (dead procedure): keep a singleton domain.
+			rets = []int{1}
+		}
+		dom := append([]int(nil), rets...)
+		sort.Ints(dom)
+		dom = dedupe(dom)
+		p.Domain = dom
+		p.Initial = dom[0]
+	}
+	// Return jumps: identity over the final domain.
+	for _, r := range c.rets {
+		p := c.m.Pointers[c.procPtr[r.proc]]
+		f := make(map[int]int, len(p.Domain))
+		for _, v := range p.Domain {
+			f[v] = v
+		}
+		in := c.m.Instrs[r.instr-1].(popmachine.AssignInstr)
+		in.F = f
+		c.b.Patch(r.instr, in)
+	}
+	// Jump targets.
+	for _, j := range c.jumps {
+		if !j.onTrue.bound || !j.onFalse.bound {
+			return fmt.Errorf("compile: unbound label in %q", c.prog.Name)
+		}
+		in := c.m.Instrs[j.instr-1].(popmachine.AssignInstr)
+		in.F = map[int]int{
+			popmachine.ValTrue:  j.onTrue.addr,
+			popmachine.ValFalse: j.onFalse.addr,
+		}
+		if j.onTrue.addr == j.onFalse.addr {
+			in.Comment = fmt.Sprintf("goto %d", j.onTrue.addr)
+		} else {
+			in.Comment = fmt.Sprintf("if CF goto %d else %d", j.onTrue.addr, j.onFalse.addr)
+		}
+		c.m.Instrs[j.instr-1] = in
+	}
+	if _, err := c.b.Finish(); err != nil {
+		return fmt.Errorf("compile %q: %w", c.prog.Name, err)
+	}
+	return nil
+}
+
+func dedupe(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package compile
+
+// Differential fuzzing of the compiler: generate random population programs
+// whose nondeterminism is resolved identically on both sides (a *truthful*
+// detect oracle makes every detect deterministic), run the program-level
+// interpreter and the compiled machine from the same register configuration,
+// and require identical final logical registers and output flag.
+//
+// The generated programs use moves, swaps, OF assignments, if/else and
+// while over detect conditions, nested to bounded depth — every lowering
+// rule of §7.2 except calls and restarts (exercised by the deterministic
+// tests in compile_test.go).
+//
+// Termination discipline: every `while detect r > 0` loop begins with an
+// unguarded move out of r, and the loop body never routes agents back into
+// r (the generator threads a forbidden-target set through the recursion),
+// so r strictly decreases and every loop terminates.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/popprog"
+	"repro/internal/sched"
+)
+
+type fuzzGen struct {
+	rng     *rand.Rand
+	numRegs int
+	// Procedure indices of the register-free helpers (set when the
+	// program is assembled): a plain procedure and a boolean one, both
+	// side-effect-free on registers so loop termination is preserved.
+	helperProc, checkProc int
+}
+
+// pickAllowed returns a random register outside forbidden, or -1.
+func (g *fuzzGen) pickAllowed(forbidden map[int]bool) int {
+	var candidates []int
+	for r := 0; r < g.numRegs; r++ {
+		if !forbidden[r] {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[g.rng.Intn(len(candidates))]
+}
+
+func (g *fuzzGen) stmts(depth, budget int, forbidden map[int]bool) []popprog.Stmt {
+	if budget <= 0 {
+		return nil
+	}
+	n := 1 + g.rng.Intn(3)
+	var out []popprog.Stmt
+	for i := 0; i < n && budget > 0; i++ {
+		budget--
+		if g.rng.Intn(8) == 0 {
+			// Exercise the call/return lowering with a register-free
+			// helper (safe anywhere, including loop bodies).
+			out = append(out, popprog.Call{Proc: g.helperProc})
+			continue
+		}
+		switch pick := g.rng.Intn(10); {
+		case pick < 3:
+			from := g.rng.Intn(g.numRegs)
+			to := g.pickAllowed(map[int]bool{from: true})
+			if to < 0 || forbidden[to] {
+				continue
+			}
+			// Guard the move so it cannot hang (truthful oracle ⇒
+			// deterministic).
+			out = append(out, popprog.If{
+				Cond: popprog.Detect{Reg: from},
+				Then: []popprog.Stmt{popprog.Move{From: from, To: to}},
+			})
+		case pick < 5:
+			a := g.pickAllowed(forbidden)
+			b := g.pickAllowed(forbidden)
+			if a < 0 || b < 0 {
+				continue
+			}
+			out = append(out, popprog.Swap{A: a, B: b})
+		case pick < 7:
+			out = append(out, popprog.SetOF{Value: g.rng.Intn(2) == 0})
+		case pick < 9 && depth > 0:
+			out = append(out, popprog.If{
+				Cond: g.cond(depth - 1),
+				Then: g.stmts(depth-1, budget, forbidden),
+				Else: g.stmts(depth-1, budget, forbidden),
+			})
+		default:
+			if depth == 0 {
+				continue
+			}
+			reg := g.pickAllowed(forbidden)
+			if reg < 0 {
+				continue
+			}
+			inner := make(map[int]bool, len(forbidden)+1)
+			for k := range forbidden {
+				inner[k] = true
+			}
+			inner[reg] = true
+			to := g.pickAllowed(inner)
+			if to < 0 {
+				continue
+			}
+			body := []popprog.Stmt{popprog.Move{From: reg, To: to}}
+			body = append(body, g.stmts(depth-1, budget/2, inner)...)
+			out = append(out, popprog.While{
+				Cond: popprog.Detect{Reg: reg},
+				Body: body,
+			})
+		}
+	}
+	return out
+}
+
+func (g *fuzzGen) cond(depth int) popprog.Cond {
+	if g.rng.Intn(6) == 0 {
+		return popprog.CallCond{Proc: g.checkProc}
+	}
+	switch pick := g.rng.Intn(6); {
+	case pick < 3 || depth == 0:
+		return popprog.Detect{Reg: g.rng.Intn(g.numRegs)}
+	case pick == 3:
+		return popprog.Not{C: g.cond(depth - 1)}
+	case pick == 4:
+		return popprog.And{L: g.cond(depth - 1), R: g.cond(depth - 1)}
+	default:
+		return popprog.Or{L: g.cond(depth - 1), R: g.cond(depth - 1)}
+	}
+}
+
+// truthfulDet resolves every detect with the ground truth, making both the
+// program and the machine fully deterministic.
+type truthfulDet struct{}
+
+func (truthfulDet) Detect(_ int, nonzero bool) bool { return nonzero }
+
+func (truthfulDet) Restart(*multiset.Multiset) {
+	panic("differential programs contain no restart")
+}
+
+func TestDifferentialCompileFuzz(t *testing.T) {
+	const (
+		trials  = 200
+		numRegs = 3
+	)
+	g := &fuzzGen{rng: sched.NewRand(2024), numRegs: numRegs, helperProc: 1, checkProc: 2}
+	helper := &popprog.Procedure{
+		Name: "Helper",
+		Body: []popprog.Stmt{popprog.If{
+			Cond: popprog.Detect{Reg: 0},
+			Then: []popprog.Stmt{popprog.SetOF{Value: true}},
+			Else: []popprog.Stmt{popprog.SetOF{Value: false}},
+		}},
+	}
+	check := &popprog.Procedure{
+		Name:    "Check",
+		Returns: true,
+		Body: []popprog.Stmt{
+			popprog.If{
+				Cond: popprog.Detect{Reg: 2},
+				Then: []popprog.Stmt{popprog.Return{HasValue: true, Value: true}},
+			},
+			popprog.Return{HasValue: true, Value: false},
+		},
+	}
+	for trial := 0; trial < trials; trial++ {
+		body := g.stmts(3, 12, map[int]bool{})
+		body = append(body, popprog.While{Cond: popprog.True{}}) // never halt Main
+		prog := &popprog.Program{
+			Name:       fmt.Sprintf("fuzz-%d", trial),
+			Registers:  []string{"r0", "r1", "r2"},
+			Procedures: []*popprog.Procedure{{Name: "Main", Body: body}, helper, check},
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v\n%s", trial, err, prog.Format())
+		}
+
+		counts := make([]int64, numRegs)
+		for i := range counts {
+			counts[i] = int64(g.rng.Intn(4))
+		}
+		regs := multiset.FromCounts(counts)
+
+		// Program-level run.
+		it, err := popprog.NewInterp(prog, truthfulDet{}, regs.Clone())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		progStatus := it.Run(100_000)
+
+		// Machine-level run.
+		machine, err := Compile(prog)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		cfg, err := machine.InitialConfig(regs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		machineRes := machine.Run(cfg, truthfulDet{}, 800_000)
+
+		if progStatus == popprog.StatusHalted || machineRes.Hung {
+			t.Fatalf("trial %d: unexpected halt (program %v, machine hung %v)\n%s",
+				trial, progStatus, machineRes.Hung, prog.Format())
+		}
+
+		// Compare the *logical* registers: the program interpreter swaps
+		// values eagerly, while the machine swaps the register map — the
+		// logical value of program-register r is the physical register
+		// pointed to by V_r.
+		for r := 0; r < numRegs; r++ {
+			phys := cfg.Pointers[machine.VReg[r]]
+			if got, want := cfg.Regs.Count(phys), it.Regs.Count(r); got != want {
+				t.Fatalf("trial %d: register %s diverges: program %d, machine %d\n%s",
+					trial, prog.Registers[r], want, got, prog.Format())
+			}
+		}
+		if machineOF := machine.Output(cfg); machineOF != it.OF {
+			t.Fatalf("trial %d: OF diverges: program %v, machine %v\n%s",
+				trial, it.OF, machineOF, prog.Format())
+		}
+	}
+}

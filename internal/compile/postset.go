@@ -1,0 +1,178 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/popmachine"
+	"repro/internal/popprog"
+)
+
+// OutcomeKind classifies one element of post(C, f).
+type OutcomeKind int
+
+// Outcome kinds, mirroring the paper's notation (§4): C, f → C′, b (return);
+// C, f → restart; C, f → ⊥ (hang or divergence — divergence is reported as
+// exceeding the state limit instead, since the post-set machinery only
+// handles finite reachable spaces).
+const (
+	OutcomeReturned OutcomeKind = iota + 1
+	OutcomeRestarted
+	OutcomeHung
+)
+
+// String implements fmt.Stringer.
+func (k OutcomeKind) String() string {
+	switch k {
+	case OutcomeReturned:
+		return "returned"
+	case OutcomeRestarted:
+		return "restarted"
+	case OutcomeHung:
+		return "hung"
+	default:
+		return fmt.Sprintf("OutcomeKind(%d)", int(k))
+	}
+}
+
+// Outcome is one element of post(C, f).
+type Outcome struct {
+	Kind OutcomeKind
+	// Value is the boolean result for returning procedures (always true
+	// for non-returning ones, marking plain termination).
+	Value bool
+	// Regs is the register configuration at the outcome point (nil for
+	// restarts, whose register state is discarded by the restart anyway).
+	Regs *multiset.Multiset
+}
+
+// Key identifies the outcome for deduplication.
+func (o Outcome) Key() string {
+	k := fmt.Sprintf("%d/%v/", o.Kind, o.Value)
+	if o.Regs != nil {
+		k += o.Regs.Key()
+	}
+	return k
+}
+
+// PostSet computes post(C, f) *exactly*: every outcome the named procedure
+// can produce from register configuration regs, per the nondeterministic
+// semantics of §4 — by compiling a harness program whose Main just calls
+// the procedure, and exhaustively exploring the machine's reachable states.
+// Runs that re-enter the harness after returning, and runs that enter the
+// restart helper, are cut at those points and classified.
+//
+// The harness relies on the compiler's fixed entry layout: instruction 1
+// sets Main's return pointer to 3, instruction 2 jumps to Main, instruction
+// 3 is the post-return spin, and the restart helper starts at instruction 4.
+func PostSet(prog *popprog.Program, procName string, regs *multiset.Multiset, maxStates int) ([]Outcome, error) {
+	if maxStates <= 0 {
+		maxStates = 1_000_000
+	}
+	target := prog.ProcIndex(procName)
+	if target < 0 {
+		return nil, fmt.Errorf("compile: no procedure %q", procName)
+	}
+	if procName == "Main" {
+		return nil, fmt.Errorf("compile: PostSet target cannot be Main")
+	}
+
+	// Harness: Main := (call target; observe result in OF; implicit return
+	// lands on the entry spin).
+	var body []popprog.Stmt
+	if prog.Procedures[target].Returns {
+		body = []popprog.Stmt{popprog.If{
+			Cond: popprog.CallCond{Proc: target},
+			Then: []popprog.Stmt{popprog.SetOF{Value: true}},
+			Else: []popprog.Stmt{popprog.SetOF{Value: false}},
+		}}
+	} else {
+		body = []popprog.Stmt{
+			popprog.Call{Proc: target},
+			popprog.SetOF{Value: true},
+		}
+	}
+	harness := &popprog.Program{
+		Name:      prog.Name + "-post-" + procName,
+		Registers: prog.Registers,
+	}
+	for i, proc := range prog.Procedures {
+		copied := &popprog.Procedure{Name: proc.Name, Returns: proc.Returns, Body: proc.Body}
+		if proc.Name == "Main" {
+			copied.Body = body
+		}
+		_ = i
+		harness.Procedures = append(harness.Procedures, copied)
+	}
+
+	machine, err := Compile(harness)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		spinAddr    = 3
+		restartAddr = 4
+	)
+
+	init, err := machine.InitialConfig(regs)
+	if err != nil {
+		return nil, err
+	}
+
+	// logicalRegs reads the registers through the register map: the value
+	// of program-register r is the physical register pointed to by V_r.
+	// Swaps permute the map rather than moving agents, so the *logical*
+	// view is what the program-level post-sets of Appendix A describe.
+	logicalRegs := func(cfg *popmachine.Config) *multiset.Multiset {
+		out := multiset.New(len(machine.Registers))
+		for r := range machine.Registers {
+			out.Set(r, cfg.Regs.Count(cfg.Pointers[machine.VReg[r]]))
+		}
+		return out
+	}
+
+	seen := map[string]bool{init.Key(): true}
+	queue := []*popmachine.Config{init}
+	outcomes := make(map[string]Outcome)
+	for len(queue) > 0 {
+		cfg := queue[0]
+		queue = queue[1:]
+		ip := cfg.Pointers[machine.IP]
+		switch {
+		case ip == spinAddr:
+			out := Outcome{
+				Kind:  OutcomeReturned,
+				Value: cfg.Pointers[machine.OF] == popmachine.ValTrue,
+				Regs:  logicalRegs(cfg),
+			}
+			outcomes[out.Key()] = out
+			continue
+		case ip == restartAddr:
+			out := Outcome{Kind: OutcomeRestarted}
+			outcomes[out.Key()] = out
+			continue
+		}
+		succ := machine.Successors(cfg)
+		if len(succ) == 0 {
+			out := Outcome{Kind: OutcomeHung, Regs: logicalRegs(cfg)}
+			outcomes[out.Key()] = out
+			continue
+		}
+		for _, next := range succ {
+			k := next.Key()
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= maxStates {
+				return nil, fmt.Errorf("compile: PostSet state limit %d exceeded", maxStates)
+			}
+			seen[k] = true
+			queue = append(queue, next)
+		}
+	}
+	result := make([]Outcome, 0, len(outcomes))
+	for _, o := range outcomes {
+		result = append(result, o)
+	}
+	return result, nil
+}

@@ -1,0 +1,134 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/popprog"
+)
+
+func TestPostSetSimpleProcedure(t *testing.T) {
+	prog := figure6Program() // Main + AddTwo (moves two units x → y, returns true)
+	regs := multiset.FromCounts([]int64{3, 0})
+	outs, err := PostSet(prog, "AddTwo", regs, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("post-set %v, want a single outcome", outs)
+	}
+	o := outs[0]
+	if o.Kind != OutcomeReturned || !o.Value {
+		t.Fatalf("outcome %+v, want returned true", o)
+	}
+	if o.Regs.Count(0) != 1 || o.Regs.Count(1) != 2 {
+		t.Fatalf("registers %v, want {1, 2}", o.Regs)
+	}
+}
+
+func TestPostSetHang(t *testing.T) {
+	prog := figure6Program()
+	// One unit only: the second move inside AddTwo hangs.
+	outs, err := PostSet(prog, "AddTwo", multiset.FromCounts([]int64{1, 0}), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Kind != OutcomeHung {
+		t.Fatalf("post-set %v, want a single hang", outs)
+	}
+	// The hang happens after the first move: logical registers {0, 1}.
+	if outs[0].Regs.Count(1) != 1 {
+		t.Fatalf("hang registers %v", outs[0].Regs)
+	}
+}
+
+func TestPostSetRestart(t *testing.T) {
+	prog := &popprog.Program{
+		Name:      "restarter",
+		Registers: []string{"x"},
+		Procedures: []*popprog.Procedure{
+			{Name: "Main", Body: []popprog.Stmt{popprog.While{Cond: popprog.True{}}}},
+			{Name: "Boom", Body: []popprog.Stmt{popprog.Restart{}}},
+		},
+	}
+	outs, err := PostSet(prog, "Boom", multiset.FromCounts([]int64{2}), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Kind != OutcomeRestarted {
+		t.Fatalf("post-set %v, want a single restart", outs)
+	}
+}
+
+func TestPostSetNondeterministicDetect(t *testing.T) {
+	// A procedure whose result genuinely depends on the detect oracle:
+	// bool proc Maybe { if detect x { return true }; return false }.
+	prog := &popprog.Program{
+		Name:      "maybe",
+		Registers: []string{"x"},
+		Procedures: []*popprog.Procedure{
+			{Name: "Main", Body: []popprog.Stmt{popprog.While{Cond: popprog.True{}}}},
+			{
+				Name:    "Maybe",
+				Returns: true,
+				Body: []popprog.Stmt{
+					popprog.If{
+						Cond: popprog.Detect{Reg: 0},
+						Then: []popprog.Stmt{popprog.Return{HasValue: true, Value: true}},
+					},
+					popprog.Return{HasValue: true, Value: false},
+				},
+			},
+		},
+	}
+	// With x > 0 both outcomes are possible.
+	outs, err := PostSet(prog, "Maybe", multiset.FromCounts([]int64{1}), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := map[bool]bool{}
+	for _, o := range outs {
+		if o.Kind != OutcomeReturned {
+			t.Fatalf("unexpected outcome %+v", o)
+		}
+		values[o.Value] = true
+	}
+	if !values[true] || !values[false] {
+		t.Fatalf("post-set %v, want both boolean outcomes", outs)
+	}
+	// With x = 0 only false is possible (detect cannot certify zero).
+	outs, err = PostSet(prog, "Maybe", multiset.FromCounts([]int64{0}), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Value {
+		t.Fatalf("post-set %v, want exactly returned-false", outs)
+	}
+}
+
+func TestPostSetValidation(t *testing.T) {
+	prog := figure6Program()
+	regs := multiset.FromCounts([]int64{1, 0})
+	if _, err := PostSet(prog, "Nope", regs, 1000); err == nil {
+		t.Fatal("accepted an unknown procedure")
+	}
+	if _, err := PostSet(prog, "Main", regs, 1000); err == nil {
+		t.Fatal("accepted Main as target")
+	}
+}
+
+func TestPostSetStateLimit(t *testing.T) {
+	// Zero(x2)-style unbounded loops are fine (finite reachable space),
+	// but a tiny limit must trip cleanly.
+	prog := figure6Program()
+	if _, err := PostSet(prog, "AddTwo", multiset.FromCounts([]int64{3, 0}), 2); err == nil {
+		t.Fatal("state limit not enforced")
+	}
+}
+
+func TestOutcomeKindString(t *testing.T) {
+	if OutcomeReturned.String() != "returned" || OutcomeRestarted.String() != "restarted" ||
+		OutcomeHung.String() != "hung" {
+		t.Fatal("OutcomeKind strings wrong")
+	}
+}

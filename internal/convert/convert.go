@@ -1,0 +1,515 @@
+// Package convert turns population machines (§7.1) into population
+// protocols, implementing the binary-transition construction of §7.3 /
+// Appendix B.3:
+//
+//   - register agents: one protocol state per machine register; the
+//     register's value is the number of agents in that state;
+//   - pointer agents: one unique agent per pointer, whose state carries the
+//     pointer's value plus an execution stage (none/wait/half for IP;
+//     none/done/emit/take/test/true/false for register-map pointers;
+//     none/done otherwise), plus per-assignment map states X_map^i;
+//   - a leader election ⟨elect⟩ along a fixed pointer enumeration ending at
+//     IP, which re-initialises the pointer chain whenever duplicates meet
+//     (Lemma 15);
+//   - instruction gadgets ⟨move⟩, ⟨test⟩, ⟨pointer⟩ exactly as Figure 4 and
+//     Appendix B.3;
+//   - an output-broadcast wrapper doubling the state space with an opinion
+//     bit: agents adopt the OF agent's value on contact, giving stable
+//     consensus (Proposition 16).
+//
+// The converted protocol decides φ'(m) ⟺ m ≥ |F| ∧ φ(m − |F|): |F| agents
+// are consumed to store the pointers.
+package convert
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/multiset"
+	"repro/internal/popmachine"
+	"repro/internal/protocol"
+)
+
+// Stage names used in pointer states.
+const (
+	stNone  = "none"
+	stWait  = "wait"
+	stHalf  = "half"
+	stDone  = "done"
+	stEmit  = "emit"
+	stTake  = "take"
+	stTest  = "test"
+	stTrue  = "true"
+	stFalse = "false"
+)
+
+// Result packages the converted protocol with its accounting data.
+type Result struct {
+	// Protocol is the final protocol PP' (with the output broadcast).
+	Protocol *protocol.Protocol
+	// Core is the intermediate protocol PP without the broadcast wrapper;
+	// it executes the machine but does not reach consensus. Exposed for
+	// the Figure 4 tests.
+	Core *protocol.Protocol
+	// NumPointers is |F|, the number of pointer agents (= the agent
+	// overhead i in Theorem 5's φ'(x) ⟺ φ(x−i) ∧ x ≥ i).
+	NumPointers int
+	// CoreStates is |Q*| and must satisfy |Q*| ≤ |Q| + 7·Σ|ℱ_X| + L
+	// (Proposition 16); Protocol has exactly 2·|Q*| states.
+	CoreStates int
+
+	m          *popmachine.Machine
+	ptrOrder   []int // pointer indices, IP last
+	stages     [][]string
+	initValues []int
+	families   []int // per Protocol state: owning pointer index, -1 = register
+}
+
+// PointerOrder returns the pointer indices in elect-chain order (X_1 …
+// X_|F|, with IP last).
+func (r *Result) PointerOrder() []int {
+	return append([]int(nil), r.ptrOrder...)
+}
+
+// Families returns, for every state index of Protocol, the pointer whose
+// unique agent owns that state, or -1 for register-agent states. Lemma 15
+// says every fair run from c(I) ≥ |F| reaches a configuration with exactly
+// one agent per pointer family; the tests verify this via these families.
+func (r *Result) Families() []int {
+	return append([]int(nil), r.families...)
+}
+
+// AgentsPerFamily counts the agents of cfg in each pointer family; index
+// len(pointers) holds the register-agent count.
+func (r *Result) AgentsPerFamily(cfg *multiset.Multiset) []int64 {
+	out := make([]int64, len(r.m.Pointers)+1)
+	for _, i := range cfg.Support() {
+		f := r.families[i]
+		if f < 0 {
+			f = len(r.m.Pointers)
+		}
+		out[f] += cfg.Count(i)
+	}
+	return out
+}
+
+// Elected reports whether cfg has exactly one agent in every pointer family
+// (the shape π(C) of Lemma 15).
+func (r *Result) Elected(cfg *multiset.Multiset) bool {
+	counts := r.AgentsPerFamily(cfg)
+	for f := 0; f < len(r.m.Pointers); f++ {
+		if counts[f] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CountStates returns the state counts of the conversion without
+// materialising transitions: coreStates = |Q*| and protocolStates = 2·|Q*|
+// (the broadcast wrapper doubles the states). The ⟨elect⟩ gadget makes the
+// transition relation quadratic in the largest pointer family (|Q_IP| =
+// 3·L), so full conversion of large machines is expensive; state accounting
+// (Table 1, Theorem 5) only needs these counts.
+func CountStates(m *popmachine.Machine) (coreStates, protocolStates int, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, 0, fmt.Errorf("convert: %w", err)
+	}
+	c := &converter{m: m}
+	c.planStates()
+	return len(c.states), 2 * len(c.states), nil
+}
+
+// Convert builds the population protocol for machine m.
+func Convert(m *popmachine.Machine) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("convert: %w", err)
+	}
+	c := &converter{m: m}
+	c.planStates()
+	core, err := c.buildCore()
+	if err != nil {
+		return nil, err
+	}
+	wrapped, err := c.wrapBroadcast(core)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Protocol:    wrapped,
+		Core:        core,
+		NumPointers: len(m.Pointers),
+		CoreStates:  core.NumStates(),
+		m:           m,
+		ptrOrder:    c.order,
+		stages:      c.stages,
+		initValues:  c.inits,
+	}
+	res.families = make([]int, wrapped.NumStates())
+	for i, name := range wrapped.States {
+		coreName := strings.TrimSuffix(strings.TrimSuffix(name, "|+"), "|-")
+		if f, ok := c.family[coreName]; ok {
+			res.families[i] = f
+		} else {
+			res.families[i] = -1
+		}
+	}
+	return res, nil
+}
+
+type converter struct {
+	m      *popmachine.Machine
+	order  []int      // pointer indices in elect order (IP last)
+	stages [][]string // stages per pointer (indexed by pointer index)
+	inits  []int      // initial values per pointer (indexed by pointer index)
+
+	states   []string        // all core states, in canonical order
+	isOF     map[string]bool // OF-pointer states
+	ofValue  map[string]int  // their values
+	family   map[string]int  // core state name → owning pointer
+	regState []string        // register agent state names
+}
+
+// PointerState names the protocol state of pointer ptr at the given stage
+// holding the given value.
+func PointerState(m *popmachine.Machine, ptr int, stage string, value int) string {
+	return fmt.Sprintf("%s=%d·%s", m.Pointers[ptr].Name, value, stage)
+}
+
+// MapState names the intermediate state X_map^i of assignment instruction i
+// (1-based).
+func MapState(m *popmachine.Machine, ptr, instr int) string {
+	return fmt.Sprintf("%s·map%d", m.Pointers[ptr].Name, instr)
+}
+
+// InitialPointerState returns the elect-chain state of a freshly
+// initialised pointer: value = its machine initial value, stage none.
+func InitialPointerState(m *popmachine.Machine, ptr int) string {
+	return PointerState(m, ptr, stNone, m.Pointers[ptr].Initial)
+}
+
+// InputState returns the protocol's unique input state: the first pointer
+// of the elect order, initialised (before the broadcast wrapper adds its
+// opinion bit).
+func (r *Result) InputState() string {
+	return InitialPointerState(r.m, r.ptrOrder[0])
+}
+
+func (c *converter) planStates() {
+	m := c.m
+	// Elect order: every pointer except IP, then IP.
+	for i := range m.Pointers {
+		if i != m.IP {
+			c.order = append(c.order, i)
+		}
+	}
+	c.order = append(c.order, m.IP)
+
+	// Stage sets (App. B.3). Only register-map pointers of actual
+	// registers need the full move/detect stage set; V_□ is touched by
+	// assignments only.
+	isVReg := make(map[int]bool, len(m.VReg))
+	for _, pi := range m.VReg {
+		isVReg[pi] = true
+	}
+	c.stages = make([][]string, len(m.Pointers))
+	c.inits = make([]int, len(m.Pointers))
+	for i := range m.Pointers {
+		switch {
+		case i == m.IP:
+			c.stages[i] = []string{stNone, stWait, stHalf}
+		case isVReg[i]:
+			c.stages[i] = []string{stNone, stDone, stEmit, stTake, stTest, stTrue, stFalse}
+		default:
+			c.stages[i] = []string{stNone, stDone}
+		}
+		c.inits[i] = m.Pointers[i].Initial
+	}
+
+	// Canonical state list: registers, pointer states, map states.
+	c.isOF = make(map[string]bool)
+	c.ofValue = make(map[string]int)
+	c.family = make(map[string]int)
+	c.regState = append([]string(nil), m.Registers...)
+	c.states = append(c.states, c.regState...)
+	for _, pi := range c.order {
+		for _, stage := range c.stages[pi] {
+			for _, v := range m.Pointers[pi].Domain {
+				s := PointerState(m, pi, stage, v)
+				c.states = append(c.states, s)
+				c.family[s] = pi
+				if pi == m.OF {
+					c.isOF[s] = true
+					c.ofValue[s] = v
+				}
+			}
+		}
+	}
+	for idx, in := range m.Instrs {
+		if a, ok := in.(popmachine.AssignInstr); ok {
+			if a.X != m.IP && a.X != a.Y {
+				s := MapState(m, a.X, idx+1)
+				c.states = append(c.states, s)
+				c.family[s] = a.X
+			}
+		}
+	}
+}
+
+// pointerStates lists every state of the given pointer's agent.
+func (c *converter) pointerStates(pi int) []string {
+	var out []string
+	for _, stage := range c.stages[pi] {
+		for _, v := range c.m.Pointers[pi].Domain {
+			out = append(out, PointerState(c.m, pi, stage, v))
+		}
+	}
+	// Map states also belong to the pointer's agent.
+	for idx, in := range c.m.Instrs {
+		if a, ok := in.(popmachine.AssignInstr); ok && a.X == pi && a.X != c.m.IP && a.X != a.Y {
+			out = append(out, MapState(c.m, pi, idx+1))
+		}
+	}
+	return out
+}
+
+func (c *converter) buildCore() (*protocol.Protocol, error) {
+	m := c.m
+	b := protocol.NewBuilder(m.Name + "-protocol")
+	for _, s := range c.states {
+		b.State(s)
+	}
+	b.Input(InitialPointerState(m, c.order[0]))
+
+	c.emitElect(b)
+	for idx, in := range m.Instrs {
+		i := idx + 1
+		switch it := in.(type) {
+		case popmachine.MoveInstr:
+			c.emitMove(b, i, it)
+		case popmachine.DetectInstr:
+			c.emitDetect(b, i, it)
+		case popmachine.AssignInstr:
+			c.emitAssign(b, i, it)
+		}
+	}
+
+	// The core protocol has no meaningful accepting set; consensus comes
+	// from the broadcast wrapper. Mark OF-true states accepting so the
+	// core can still be inspected.
+	for s, v := range c.ofValue {
+		b.AcceptingIf(s, v == popmachine.ValTrue)
+	}
+	return b.Build()
+}
+
+// emitElect implements ⟨elect⟩: duplicates of pointer X_j collapse into an
+// initialised X_j plus an initialised X_{j+1}; duplicate IPs release one
+// agent into a fixed register state and restart the chain at X_1.
+func (c *converter) emitElect(b *protocol.Builder) {
+	m := c.m
+	for oi := 0; oi < len(c.order); oi++ {
+		pi := c.order[oi]
+		all := c.pointerStates(pi)
+		var q1, r1 string
+		if oi < len(c.order)-1 {
+			q1 = InitialPointerState(m, pi)
+			r1 = InitialPointerState(m, c.order[oi+1])
+		} else {
+			// IP duplicates: one agent re-seeds the chain, the other
+			// becomes a register agent in the fixed register 0.
+			q1 = InitialPointerState(m, c.order[0])
+			r1 = c.regState[0]
+		}
+		for _, s1 := range all {
+			for _, s2 := range all {
+				b.Transition(s1, s2, q1, r1)
+			}
+		}
+	}
+}
+
+// ipState abbreviates IP's pointer states.
+func (c *converter) ipState(stage string, i int) string {
+	return PointerState(c.m, c.m.IP, stage, i)
+}
+
+// emitMove implements ⟨move⟩ for instruction i = (x ↦ y).
+func (c *converter) emitMove(b *protocol.Builder, i int, in popmachine.MoveInstr) {
+	m := c.m
+	vx, vy := m.VReg[in.X], m.VReg[in.Y]
+	z := c.regState[0] // the fixed intermediate register of App. B.3
+	for _, stage := range c.stages[vx] {
+		for _, v := range m.Pointers[vx].Domain {
+			from := PointerState(m, vx, stage, v)
+			b.Transition(c.ipState(stNone, i), from, c.ipState(stWait, i), PointerState(m, vx, stEmit, v))
+		}
+	}
+	for _, v := range m.Pointers[vx].Domain {
+		emit := PointerState(m, vx, stEmit, v)
+		done := PointerState(m, vx, stDone, v)
+		b.Transition(emit, c.regState[v], done, z)
+		b.Transition(c.ipState(stWait, i), done, c.ipState(stHalf, i), PointerState(m, vx, stNone, v))
+	}
+	for _, stage := range c.stages[vy] {
+		for _, w := range m.Pointers[vy].Domain {
+			from := PointerState(m, vy, stage, w)
+			b.Transition(c.ipState(stHalf, i), from, c.ipState(stWait, i), PointerState(m, vy, stTake, w))
+		}
+	}
+	for _, w := range m.Pointers[vy].Domain {
+		take := PointerState(m, vy, stTake, w)
+		done := PointerState(m, vy, stDone, w)
+		b.Transition(take, z, done, c.regState[w])
+		if i < m.NumInstrs() {
+			b.Transition(c.ipState(stWait, i), done, c.ipState(stNone, i+1), PointerState(m, vy, stNone, w))
+		}
+	}
+}
+
+// emitDetect implements ⟨test⟩ for instruction i = (detect x > 0).
+func (c *converter) emitDetect(b *protocol.Builder, i int, in popmachine.DetectInstr) {
+	m := c.m
+	vx := m.VReg[in.X]
+	for _, stage := range c.stages[vx] {
+		for _, v := range m.Pointers[vx].Domain {
+			from := PointerState(m, vx, stage, v)
+			b.Transition(c.ipState(stNone, i), from, c.ipState(stWait, i), PointerState(m, vx, stTest, v))
+		}
+	}
+	for _, v := range m.Pointers[vx].Domain {
+		test := PointerState(m, vx, stTest, v)
+		b.Transition(test, c.regState[v], PointerState(m, vx, stTrue, v), c.regState[v])
+		for _, q := range c.states {
+			if q != c.regState[v] && q != test {
+				b.Transition(test, q, PointerState(m, vx, stFalse, v), q)
+			}
+		}
+		for _, outcome := range []struct {
+			stage string
+			cf    int
+		}{{stTrue, popmachine.ValTrue}, {stFalse, popmachine.ValFalse}} {
+			res := PointerState(m, vx, outcome.stage, v)
+			for _, cfStage := range c.stages[m.CF] {
+				for _, cv := range m.Pointers[m.CF].Domain {
+					b.Transition(res, PointerState(m, m.CF, cfStage, cv),
+						PointerState(m, vx, stDone, v), PointerState(m, m.CF, stNone, outcome.cf))
+				}
+			}
+		}
+		if i < m.NumInstrs() {
+			b.Transition(c.ipState(stWait, i), PointerState(m, vx, stDone, v),
+				c.ipState(stNone, i+1), PointerState(m, vx, stNone, v))
+		}
+	}
+}
+
+// emitAssign implements ⟨pointer⟩ for instruction i = (X := f(Y)).
+func (c *converter) emitAssign(b *protocol.Builder, i int, in popmachine.AssignInstr) {
+	m := c.m
+	switch {
+	case in.X == m.IP:
+		// IP := f(Y): a single two-agent exchange.
+		for _, stage := range c.stages[in.Y] {
+			for _, v := range m.Pointers[in.Y].Domain {
+				b.Transition(c.ipState(stNone, i), PointerState(m, in.Y, stage, v),
+					c.ipState(stNone, in.F[v]), PointerState(m, in.Y, stNone, v))
+			}
+		}
+	case in.X == in.Y:
+		if i >= m.NumInstrs() {
+			return // machine hangs at i = L
+		}
+		for _, stage := range c.stages[in.Y] {
+			for _, v := range m.Pointers[in.Y].Domain {
+				b.Transition(c.ipState(stNone, i), PointerState(m, in.Y, stage, v),
+					c.ipState(stNone, i+1), PointerState(m, in.Y, stNone, in.F[v]))
+			}
+		}
+	default:
+		if i >= m.NumInstrs() {
+			return // the advancing transitions below would be ill-defined
+		}
+		mapState := MapState(m, in.X, i)
+		for _, stage := range c.stages[in.X] {
+			for _, v := range m.Pointers[in.X].Domain {
+				b.Transition(c.ipState(stNone, i), PointerState(m, in.X, stage, v),
+					c.ipState(stWait, i), mapState)
+			}
+		}
+		for _, stage := range c.stages[in.Y] {
+			for _, w := range m.Pointers[in.Y].Domain {
+				b.Transition(mapState, PointerState(m, in.Y, stage, w),
+					PointerState(m, in.X, stDone, in.F[w]), PointerState(m, in.Y, stNone, w))
+			}
+		}
+		for _, v := range m.Pointers[in.X].Domain {
+			b.Transition(c.ipState(stWait, i), PointerState(m, in.X, stDone, v),
+				c.ipState(stNone, i+1), PointerState(m, in.X, stNone, v))
+		}
+	}
+}
+
+// opinion suffixes for the broadcast wrapper.
+func withOpinion(state string, b bool) string {
+	if b {
+		return state + "|+"
+	}
+	return state + "|-"
+}
+
+// wrapBroadcast implements the standard output broadcast: every state is
+// doubled with an opinion bit; transitions whose post-states include an
+// OF-pointer state with value b force both participants' opinions to b;
+// all other transitions carry opinions through; and meeting the OF agent
+// (an identity interaction otherwise) converts the other agent's opinion.
+func (c *converter) wrapBroadcast(core *protocol.Protocol) (*protocol.Protocol, error) {
+	b := protocol.NewBuilder(core.Name + "-consensus")
+	bools := []bool{false, true}
+	for _, s := range c.states {
+		for _, op := range bools {
+			b.AcceptingIf(withOpinion(s, op), op)
+		}
+	}
+	// I' = I × {false}: the initialised first pointer of the elect chain,
+	// with opinion false.
+	b.Input(withOpinion(InitialPointerState(c.m, c.order[0]), false))
+
+	for _, t := range core.Transitions {
+		q1, r1 := core.States[t.Q], core.States[t.R]
+		q2, r2 := core.States[t.Q2], core.States[t.R2]
+		forced, forcedVal := false, false
+		if c.isOF[q2] {
+			forced, forcedVal = true, c.ofValue[q2] == popmachine.ValTrue
+		} else if c.isOF[r2] {
+			forced, forcedVal = true, c.ofValue[r2] == popmachine.ValTrue
+		}
+		for _, o1 := range bools {
+			for _, o2 := range bools {
+				if forced {
+					b.Transition(withOpinion(q1, o1), withOpinion(r1, o2),
+						withOpinion(q2, forcedVal), withOpinion(r2, forcedVal))
+				} else {
+					b.Transition(withOpinion(q1, o1), withOpinion(r1, o2),
+						withOpinion(q2, o1), withOpinion(r2, o2))
+				}
+			}
+		}
+	}
+	// Identity interactions with the OF agent broadcast its value.
+	for ofState, v := range c.ofValue {
+		val := v == popmachine.ValTrue
+		for _, q := range c.states {
+			if q == ofState {
+				continue
+			}
+			for _, o1 := range bools {
+				for _, o2 := range bools {
+					b.Transition(withOpinion(q, o1), withOpinion(ofState, o2),
+						withOpinion(q, val), withOpinion(ofState, val))
+				}
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,45 @@
+package convert
+
+import (
+	"fmt"
+
+	"repro/internal/multiset"
+)
+
+// LeaderConfig builds an initial configuration for the *leader model* of
+// §1: the |F| pointer agents are provided as auxiliary leaders (one agent
+// per pointer, already initialised, exactly the π(C) shape of Lemma 15)
+// and the x input agents start directly as register agents.
+//
+// In this model the converted protocol decides φ(x) itself — no −|F| input
+// shift and no election phase — which is how Table 1's "with leaders"
+// column relates to the leaderless one: leaders buy back both the agent
+// overhead and the election. The protocol's states and transitions are
+// unchanged; only the initial configuration differs.
+//
+// The input agents are placed in register `reg` (the machine register that
+// receives the program's input; by this repository's conventions that is
+// register 0, the same register the elect overflow feeds).
+func (r *Result) LeaderConfig(inputAgents int64, reg int) (*multiset.Multiset, error) {
+	if inputAgents < 0 {
+		return nil, fmt.Errorf("convert: negative input count %d", inputAgents)
+	}
+	if reg < 0 || reg >= len(r.m.Registers) {
+		return nil, fmt.Errorf("convert: register %d out of range", reg)
+	}
+	cfg := multiset.New(r.Protocol.NumStates())
+	for _, pi := range r.ptrOrder {
+		state := withOpinion(InitialPointerState(r.m, pi), false)
+		idx := r.Protocol.StateIndex(state)
+		if idx < 0 {
+			return nil, fmt.Errorf("convert: missing pointer state %q", state)
+		}
+		cfg.Add(idx, 1)
+	}
+	regState := r.Protocol.StateIndex(withOpinion(r.m.Registers[reg], false))
+	if regState < 0 {
+		return nil, fmt.Errorf("convert: missing register state %q", r.m.Registers[reg])
+	}
+	cfg.Add(regState, inputAgents)
+	return cfg, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/multiset"
+)
+
+// ConfigClass is the classification of Appendix A ("Types of
+// Configurations"). A configuration can belong to several classes at once
+// (e.g. i-proper implies weakly i-proper); the predicates below test each
+// class independently.
+type ConfigClass int
+
+// Classes, used in experiment reports.
+const (
+	ClassProper ConfigClass = iota + 1
+	ClassWeaklyProper
+	ClassLow
+	ClassHigh
+	ClassEmpty
+	ClassOther
+)
+
+// String implements fmt.Stringer.
+func (c ConfigClass) String() string {
+	switch c {
+	case ClassProper:
+		return "proper"
+	case ClassWeaklyProper:
+		return "weakly-proper"
+	case ClassLow:
+		return "low"
+	case ClassHigh:
+		return "high"
+	case ClassEmpty:
+		return "empty"
+	case ClassOther:
+		return "other"
+	default:
+		return fmt.Sprintf("ConfigClass(%d)", int(c))
+	}
+}
+
+func (c *Construction) count(cfg *multiset.Multiset, reg int) *big.Int {
+	return big.NewInt(cfg.Count(reg))
+}
+
+// IsProper reports whether cfg is i-proper: for all j ≤ i, C(x_j) = C(y_j)
+// = 0 and C(x̄_j) = C(ȳ_j) = N_j. Every configuration is 0-proper.
+func (c *Construction) IsProper(cfg *multiset.Multiset, i int) bool {
+	for j := 1; j <= i; j++ {
+		n := c.Ns[j-1]
+		if cfg.Count(c.lay.X(j)) != 0 || cfg.Count(c.lay.Y(j)) != 0 {
+			return false
+		}
+		if c.count(cfg, c.lay.XBar(j)).Cmp(n) != 0 || c.count(cfg, c.lay.YBar(j)).Cmp(n) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsWeaklyProper reports whether cfg is weakly i-proper: (i−1)-proper with
+// C(x) + C(x̄) = Nᵢ for x ∈ {xᵢ, yᵢ}.
+func (c *Construction) IsWeaklyProper(cfg *multiset.Multiset, i int) bool {
+	if !c.IsProper(cfg, i-1) {
+		return false
+	}
+	n := c.Ns[i-1]
+	sumX := big.NewInt(cfg.Count(c.lay.X(i)) + cfg.Count(c.lay.XBar(i)))
+	sumY := big.NewInt(cfg.Count(c.lay.Y(i)) + cfg.Count(c.lay.YBar(i)))
+	return sumX.Cmp(n) == 0 && sumY.Cmp(n) == 0
+}
+
+// IsLow reports whether cfg is i-low: (i−1)-proper, not i-proper, and
+// C(x) = 0 with C(x̄) ≤ Nᵢ for all x ∈ {xᵢ, yᵢ}.
+func (c *Construction) IsLow(cfg *multiset.Multiset, i int) bool {
+	if !c.IsProper(cfg, i-1) || c.IsProper(cfg, i) {
+		return false
+	}
+	n := c.Ns[i-1]
+	if cfg.Count(c.lay.X(i)) != 0 || cfg.Count(c.lay.Y(i)) != 0 {
+		return false
+	}
+	return c.count(cfg, c.lay.XBar(i)).Cmp(n) <= 0 &&
+		c.count(cfg, c.lay.YBar(i)).Cmp(n) <= 0
+}
+
+// IsHigh reports whether cfg is i-high: (i−1)-proper, not i-proper, and
+// C(x) + C(x̄) ≥ Nᵢ for all x ∈ {xᵢ, yᵢ}.
+func (c *Construction) IsHigh(cfg *multiset.Multiset, i int) bool {
+	if !c.IsProper(cfg, i-1) || c.IsProper(cfg, i) {
+		return false
+	}
+	n := c.Ns[i-1]
+	sumX := big.NewInt(cfg.Count(c.lay.X(i)) + cfg.Count(c.lay.XBar(i)))
+	sumY := big.NewInt(cfg.Count(c.lay.Y(i)) + cfg.Count(c.lay.YBar(i)))
+	return sumX.Cmp(n) >= 0 && sumY.Cmp(n) >= 0
+}
+
+// IsEmpty reports whether cfg is i-empty: all registers on levels i..n+1
+// are zero. i may be n+1, in which case only R is checked.
+func (c *Construction) IsEmpty(cfg *multiset.Multiset, i int) bool {
+	for j := i; j <= c.Levels; j++ {
+		for _, reg := range c.lay.LevelRegisters(j) {
+			if cfg.Count(reg) != 0 {
+				return false
+			}
+		}
+	}
+	return cfg.Count(c.lay.R()) == 0
+}
+
+// Classify returns the classes cfg belongs to at level i, in a fixed order
+// (proper, weakly-proper, low, high, empty). Used by the Figure 2
+// experiment to reproduce the paper's classification table.
+func (c *Construction) Classify(cfg *multiset.Multiset, i int) []ConfigClass {
+	var out []ConfigClass
+	if c.IsProper(cfg, i) {
+		out = append(out, ClassProper)
+	}
+	if c.IsWeaklyProper(cfg, i) {
+		out = append(out, ClassWeaklyProper)
+	}
+	if c.IsLow(cfg, i) {
+		out = append(out, ClassLow)
+	}
+	if c.IsHigh(cfg, i) {
+		out = append(out, ClassHigh)
+	}
+	if c.IsEmpty(cfg, i) {
+		out = append(out, ClassEmpty)
+	}
+	if len(out) == 0 {
+		out = append(out, ClassOther)
+	}
+	return out
+}

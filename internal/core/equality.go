@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/popprog"
+)
+
+// NewEquality builds the variant construction the paper sketches in §9:
+// "the construction presented in this paper … can also be used to decide
+// φ(x) ⟺ x = k for k ≥ 2^(2^n) with O(n) states."
+//
+// Main is modified in one place: after all n levels are certified, the
+// final invariant loop additionally watches the surplus register R.
+// A population of exactly k agents leaves R empty forever (OF stays true);
+// any surplus eventually trips the detect and the output flips to false —
+// permanently, since nothing ever sets it back:
+//
+//	OF := false
+//	for i = 1..n:
+//	  while ¬(Large(x̄ᵢ) ∧ Large(ȳᵢ)) { AssertProper(i); AssertEmpty(i+1) }
+//	OF := true
+//	while true { AssertProper(n); if detect R > 0 { OF := false } }
+//
+// Good configurations: m < k stabilises false via a j-low configuration
+// (as in Theorem 3); m = k via the n-proper configuration with R = 0
+// (OF stays true); m > k via the n-proper configuration with R = m − k
+// (OF flips to false). All other configurations restart (Lemma 4c).
+func NewEquality(n int) (*Construction, error) {
+	ns, err := LevelConstants(n)
+	if err != nil {
+		return nil, err
+	}
+	k, err := Threshold(n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Construction{
+		Levels:   n,
+		Ns:       ns,
+		K:        k,
+		lay:      layout{levels: n},
+		procs:    make(map[string]int),
+		equality: true,
+	}
+	c.Program = c.build()
+	if err := c.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated equality program invalid: %w", err)
+	}
+	return c, nil
+}
+
+// IsEquality reports whether the construction decides x = k rather than
+// x ≥ k.
+func (c *Construction) IsEquality() bool { return c.equality }
+
+// equalityTail is the final invariant loop of the equality variant.
+func (c *Construction) equalityTail() []popprog.Stmt {
+	return []popprog.Stmt{
+		popprog.SetOF{Value: true},
+		popprog.While{
+			Cond: popprog.True{},
+			Body: []popprog.Stmt{
+				popprog.Call{Proc: c.proc(assertProperName(c.Levels))},
+				popprog.If{
+					Cond: popprog.Detect{Reg: c.lay.R()},
+					Then: []popprog.Stmt{popprog.SetOF{Value: false}},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/popprog"
+)
+
+// Build the paper's construction and inspect its headline numbers.
+func ExampleNew() {
+	c, err := core.New(4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("threshold k:", c.K)
+	fmt.Println("program size:", c.Program.Size())
+	fmt.Println("registers:", len(c.Program.Registers))
+	// Output:
+	// threshold k: 1412
+	// program size: 477
+	// registers: 17
+}
+
+// Decide a population size with the n = 1 construction (k = 2).
+func ExampleConstruction_goodConfig() {
+	c, err := core.New(1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := popprog.DecideTotal(c.Program, 3, popprog.DecideOptions{
+		Seed: 7, Budget: 300_000, TruthProb: 0.8,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("3 agents, threshold %s: %v\n", c.K, res.Output)
+	// Output: 3 agents, threshold 2: true
+}

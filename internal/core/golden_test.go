@@ -1,0 +1,71 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/popprog"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenConstructionSources snapshots the generated n = 2 construction
+// in both renderings — the parseable text format and the paper-style
+// pseudocode — and compares against checked-in golden files. Any change to
+// the generator (§6 procedure bodies, register naming, Main's structure)
+// shows up as a reviewable diff instead of a silent behaviour change.
+func TestGoldenConstructionSources(t *testing.T) {
+	c := mustNew(t, 2)
+	cases := []struct {
+		file string
+		got  string
+	}{
+		{"construction_n2.pop", c.Program.WriteSource()},
+		{"construction_n2.txt", c.Program.Format()},
+	}
+	for _, tc := range cases {
+		path := filepath.Join("testdata", tc.file)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(tc.got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file %s (run `go test ./internal/core -run Golden -update`): %v",
+				path, err)
+		}
+		if string(want) != tc.got {
+			t.Fatalf("%s differs from the golden file; regenerate with -update and review the diff", tc.file)
+		}
+	}
+}
+
+// TestGoldenSourceStillDecides guards the golden .pop file itself: the
+// checked-in source must parse and decide the n = 2 threshold.
+func TestGoldenSourceStillDecides(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are being rewritten")
+	}
+	src, err := os.ReadFile(filepath.Join("testdata", "construction_n2.pop"))
+	if err != nil {
+		t.Skipf("golden file missing: %v", err)
+	}
+	prog, err := parseProgramText(string(src))
+	if err != nil {
+		t.Fatalf("golden source does not parse: %v", err)
+	}
+	if prog.Size() != mustNew(t, 2).Program.Size() {
+		t.Fatalf("golden source size %d differs from generator %d",
+			prog.Size(), mustNew(t, 2).Program.Size())
+	}
+}
+
+// parseProgramText is a tiny indirection so the test reads naturally.
+func parseProgramText(src string) (*popprog.Program, error) { return popprog.Parse(src) }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/multiset"
+)
+
+// GoodConfig synthesises the "good" configuration for a population of m
+// agents, exactly as the proof of Theorem 3 (Appendix A.4) constructs it:
+//
+//   - if m ≥ k: the n-proper configuration with the surplus in R — Main may
+//     stabilise to true from it (Lemma 4b);
+//   - if m < k: let j be maximal with 2·Σ_{i<j} Nᵢ ≤ m; fill levels < j
+//     properly, leave levels > j and R empty, and split the remaining
+//     ≤ 2·N_j units across x̄_j and ȳ_j — a j-low (or j-proper and
+//     (j+1)-low) and (j+1)-empty configuration, from which Main may
+//     stabilise to false (Lemma 4a).
+//
+// Every fair run restarts until it hits such a configuration, which is why
+// the program decides m ≥ k (Lemma 4c + fairness).
+func (c *Construction) GoodConfig(m int64) (*multiset.Multiset, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("core: negative population %d", m)
+	}
+	mBig := big.NewInt(m)
+	cfg := multiset.New(c.NumRegisters())
+
+	if mBig.Cmp(c.K) >= 0 {
+		// n-proper with the rest in R.
+		for i := 1; i <= c.Levels; i++ {
+			n := c.Ns[i-1].Int64() // fits: Nᵢ ≤ k/2 ≤ m ≤ MaxInt64
+			cfg.Set(c.lay.XBar(i), n)
+			cfg.Set(c.lay.YBar(i), n)
+		}
+		cfg.Set(c.lay.R(), m-cfg.Size())
+		return cfg, nil
+	}
+
+	// Find maximal j with 2·Σ_{i<j} Nᵢ ≤ m.
+	j := 1
+	prefix := new(big.Int) // 2·Σ_{i<j} Nᵢ
+	for j < c.Levels {
+		next := new(big.Int).Set(prefix)
+		next.Add(next, c.Ns[j-1])
+		next.Add(next, c.Ns[j-1]) // prefix + 2·N_j
+		if next.Cmp(mBig) > 0 {
+			break
+		}
+		prefix = next
+		j++
+	}
+	for i := 1; i < j; i++ {
+		n := c.Ns[i-1].Int64()
+		cfg.Set(c.lay.XBar(i), n)
+		cfg.Set(c.lay.YBar(i), n)
+	}
+	rest := m - cfg.Size()
+	nj := c.Ns[j-1]
+	half := rest / 2
+	other := rest - half
+	if big.NewInt(half).Cmp(nj) > 0 || big.NewInt(other).Cmp(nj) > 0 {
+		return nil, fmt.Errorf("core: internal error: %d leftover units overflow N_%d = %s",
+			rest, j, nj)
+	}
+	cfg.Set(c.lay.XBar(j), other)
+	cfg.Set(c.lay.YBar(j), half)
+	return cfg, nil
+}
+
+// RestartHint returns a restart-hint function for popprog.RandomOracle /
+// popprog.DecideOptions: it fills the registers with GoodConfig(total).
+// Mixing this hint into the uniform restart distribution keeps runs fair
+// while making the (unique) good configuration reachable in feasible
+// simulation time; see the RandomOracle documentation and EXPERIMENTS.md.
+func (c *Construction) RestartHint() func(total int64, regs *multiset.Multiset) {
+	return func(total int64, regs *multiset.Multiset) {
+		good, err := c.GoodConfig(total)
+		if err != nil {
+			// Negative totals cannot occur for multisets; fall back to
+			// leaving regs untouched, which is a valid restart choice.
+			return
+		}
+		for i := 0; i < regs.Len(); i++ {
+			regs.Set(i, good.Count(i))
+		}
+	}
+}
+
+// GoodLevel returns the j used by GoodConfig for a sub-threshold m, i.e.
+// the level whose registers absorb the leftover agents, and whether m is at
+// or above the threshold. Exposed for the Lemma 4 experiments.
+func (c *Construction) GoodLevel(m int64) (j int, aboveThreshold bool) {
+	if big.NewInt(m).Cmp(c.K) >= 0 {
+		return c.Levels, true
+	}
+	j = 1
+	prefix := new(big.Int)
+	for j < c.Levels {
+		next := new(big.Int).Set(prefix)
+		next.Add(next, c.Ns[j-1])
+		next.Add(next, c.Ns[j-1])
+		if next.Cmp(big.NewInt(m)) > 0 {
+			break
+		}
+		prefix = next
+		j++
+	}
+	return j, false
+}

@@ -1,0 +1,455 @@
+package core
+
+// Sampling-based verification of the procedure contracts of Appendix A
+// (Lemmas 8–12). The interpreter resolves nondeterminism randomly, so:
+//
+//   - "post(C, f) = {X}" claims are checked universally: every sampled run
+//     must produce X;
+//   - "C, f → X" (possibility) claims are checked existentially: some
+//     sampled run must produce X;
+//   - robustness ("terminates or restarts, stays j-high") is checked on
+//     every sampled run.
+//
+// The machine-level model checker complements these with exact checks for
+// n = 1 (see internal/compile and internal/convert tests).
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/popprog"
+	"repro/internal/sched"
+)
+
+const lemmaSamples = 60
+
+// runProc executes one sampled run of a procedure on a copy of cfg.
+func runProc(t *testing.T, c *Construction, cfg *multiset.Multiset, proc string, seed int64) (popprog.ProcOutcome, bool, *multiset.Multiset) {
+	t.Helper()
+	oracle := popprog.NewRandomOracle(sched.NewRand(seed))
+	it, err := popprog.NewInterp(c.Program, oracle, cfg.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, val, err := it.RunProcedure(proc, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, val, it.Regs
+}
+
+// properConfig returns the 2-proper configuration of the n = 2 construction
+// with r extra agents in R.
+func properConfig(c *Construction, r int64) *multiset.Multiset {
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.XBar(2), 4)
+	cfg.Set(c.YBar(2), 4)
+	cfg.Set(c.R(), r)
+	return cfg
+}
+
+// weakly2Proper returns a weakly 2-proper configuration with x₂ = a, y₂ = b.
+func weakly2Proper(c *Construction, a, b int64) *multiset.Multiset {
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.X(2), a)
+	cfg.Set(c.XBar(2), 4-a)
+	cfg.Set(c.Y(2), b)
+	cfg.Set(c.YBar(2), 4-b)
+	return cfg
+}
+
+// --- Lemma 8: AssertEmpty ---
+
+func TestLemma8AssertEmptyNoEffectWhenEmpty(t *testing.T) {
+	c := mustNew(t, 2)
+	// 2-empty configuration: only level-1 registers populated.
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.X(1), 2)
+	cfg.Set(c.XBar(1), 3)
+	for seed := int64(0); seed < lemmaSamples; seed++ {
+		out, _, regs := runProc(t, c, cfg, "AssertEmpty(2)", seed)
+		if out != popprog.ProcReturned {
+			t.Fatalf("seed %d: AssertEmpty(2) on 2-empty: %v", seed, out)
+		}
+		if !regs.Equal(cfg) {
+			t.Fatalf("seed %d: AssertEmpty changed registers", seed)
+		}
+	}
+}
+
+func TestLemma8AssertEmptyMayRestartWhenNonEmpty(t *testing.T) {
+	c := mustNew(t, 2)
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.X(2), 1) // level-2 register non-empty
+	sawRestart, sawReturn := false, false
+	for seed := int64(0); seed < lemmaSamples; seed++ {
+		out, _, regs := runProc(t, c, cfg, "AssertEmpty(2)", seed)
+		switch out {
+		case popprog.ProcRestarted:
+			sawRestart = true
+		case popprog.ProcReturned:
+			sawReturn = true
+		default:
+			t.Fatalf("seed %d: unexpected outcome %v", seed, out)
+		}
+		if !regs.Equal(cfg) {
+			t.Fatalf("seed %d: AssertEmpty changed registers", seed)
+		}
+	}
+	if !sawRestart {
+		t.Fatal("restart never observed on a non-empty configuration")
+	}
+	// Both outcomes are in post(C, AssertEmpty): detect may return false.
+	if !sawReturn {
+		t.Fatal("plain return never observed (detect must be able to miss)")
+	}
+}
+
+func TestLemma8AssertEmptyChecksR(t *testing.T) {
+	c := mustNew(t, 2)
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.R(), 1)
+	sawRestart := false
+	for seed := int64(0); seed < lemmaSamples; seed++ {
+		out, _, _ := runProc(t, c, cfg, "AssertEmpty(3)", seed)
+		if out == popprog.ProcRestarted {
+			sawRestart = true
+		}
+	}
+	if !sawRestart {
+		t.Fatal("AssertEmpty(n+1) never restarted on non-empty R")
+	}
+}
+
+// --- Lemma 9: AssertProper ---
+
+func TestLemma9aNoEffectOnProperAndLow(t *testing.T) {
+	c := mustNew(t, 2)
+	proper := properConfig(c, 0)
+	low := multiset.New(c.NumRegisters())
+	low.Set(c.XBar(1), 1)
+	low.Set(c.YBar(1), 1)
+	low.Set(c.XBar(2), 2) // 2-low: bars below N₂, x/y empty
+	low.Set(c.YBar(2), 4)
+	for name, cfg := range map[string]*multiset.Multiset{"proper": proper, "low": low} {
+		for seed := int64(0); seed < lemmaSamples; seed++ {
+			out, _, regs := runProc(t, c, cfg, "AssertProper(2)", seed)
+			if out != popprog.ProcReturned {
+				t.Fatalf("%s seed %d: outcome %v, want returned", name, seed, out)
+			}
+			if !regs.Equal(cfg) {
+				t.Fatalf("%s seed %d: registers changed: %v → %v",
+					name, seed, cfg.Format(c.Program.Registers), regs.Format(c.Program.Registers))
+			}
+		}
+	}
+}
+
+func TestLemma9bRestartsOnHigh(t *testing.T) {
+	c := mustNew(t, 2)
+	// 2-high: x₂ > 0 on top of full bars.
+	high := properConfig(c, 0)
+	high.Set(c.X(2), 2)
+	sawRestart := false
+	for seed := int64(0); seed < lemmaSamples; seed++ {
+		out, _, _ := runProc(t, c, high, "AssertProper(2)", seed)
+		if out == popprog.ProcRestarted {
+			sawRestart = true
+			break
+		}
+	}
+	if !sawRestart {
+		t.Fatal("AssertProper never restarted on a 2-high configuration")
+	}
+}
+
+func TestLemma9cRestartsOnOverfullBar(t *testing.T) {
+	c := mustNew(t, 2)
+	// (i−1)-proper with C(x̄₂) > N₂: Large(x̄₂) exposes the excess.
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.XBar(2), 6) // > N₂ = 4
+	cfg.Set(c.YBar(2), 4)
+	sawRestart := false
+	for seed := int64(0); seed < lemmaSamples*4; seed++ {
+		out, _, _ := runProc(t, c, cfg, "AssertProper(2)", seed)
+		if out == popprog.ProcRestarted {
+			sawRestart = true
+			break
+		}
+	}
+	if !sawRestart {
+		t.Fatal("AssertProper never restarted on x̄₂ > N₂")
+	}
+}
+
+// --- Lemma 10: Zero ---
+
+func TestLemma10aDeterministicOnWeaklyProper(t *testing.T) {
+	c := mustNew(t, 2)
+	cases := []struct {
+		cfg  *multiset.Multiset
+		reg  string
+		want bool
+	}{
+		{weakly2Proper(c, 0, 0), "Zero(x2)", true},
+		{weakly2Proper(c, 2, 0), "Zero(x2)", false},
+		{weakly2Proper(c, 0, 4), "Zero(y2)", false},
+		{weakly2Proper(c, 0, 4), "Zero(yb2)", true},
+		{weakly2Proper(c, 4, 0), "Zero(xb2)", true},
+	}
+	for _, tc := range cases {
+		for seed := int64(0); seed < lemmaSamples/2; seed++ {
+			out, val, regs := runProc(t, c, tc.cfg, tc.reg, seed)
+			if out != popprog.ProcReturned {
+				t.Fatalf("%s seed %d: outcome %v", tc.reg, seed, out)
+			}
+			if val != tc.want {
+				t.Fatalf("%s seed %d: returned %v, want %v", tc.reg, seed, val, tc.want)
+			}
+			if !regs.Equal(tc.cfg) {
+				t.Fatalf("%s seed %d: registers changed", tc.reg, seed)
+			}
+		}
+	}
+}
+
+func TestLemma10bZeroOnDamagedInvariant(t *testing.T) {
+	c := mustNew(t, 2)
+	// 1-proper, x₂ + x̄₂ = 6 > N₂: Zero(x₂) may return false (x₂ > 0) or
+	// true (x̄₂ ≥ N₂, after moving N₂ out of x̄₂ into... per the lemma,
+	// C'(x̄₂) = C(x₂) + N₂, C'(x₂) = C(x̄₂) − N₂).
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.X(2), 2)
+	cfg.Set(c.XBar(2), 4)
+	cfg.Set(c.Y(2), 0)
+	cfg.Set(c.YBar(2), 4)
+	sawFalse, sawTrue := false, false
+	for seed := int64(0); seed < lemmaSamples*2; seed++ {
+		out, val, regs := runProc(t, c, cfg, "Zero(x2)", seed)
+		if out != popprog.ProcReturned {
+			t.Fatalf("seed %d: outcome %v", seed, out)
+		}
+		if val {
+			sawTrue = true
+			if regs.Count(c.XBar(2)) != 2+4 || regs.Count(c.X(2)) != 4-4 {
+				t.Fatalf("seed %d: true-case registers wrong: %v",
+					seed, regs.Format(c.Program.Registers))
+			}
+		} else {
+			sawFalse = true
+			if !regs.Equal(cfg) {
+				t.Fatalf("seed %d: false-case changed registers", seed)
+			}
+		}
+	}
+	if !sawFalse || !sawTrue {
+		t.Fatalf("expected both outcomes, saw false=%v true=%v", sawFalse, sawTrue)
+	}
+}
+
+// --- Lemma 11: IncrPair ---
+
+func ctr2(c *Construction, cfg *multiset.Multiset, bar bool) int64 {
+	if bar {
+		return cfg.Count(c.XBar(2))*5 + cfg.Count(c.YBar(2))
+	}
+	return cfg.Count(c.X(2))*5 + cfg.Count(c.Y(2))
+}
+
+func TestLemma11aIncrementModN(t *testing.T) {
+	c := mustNew(t, 2)
+	for a := int64(0); a <= 4; a++ {
+		for b := int64(0); b <= 4; b++ {
+			cfg := weakly2Proper(c, a, b)
+			before := ctr2(c, cfg, false)
+			out, _, regs := runProc(t, c, cfg, "IncrPair(x2,y2)", a*10+b)
+			if out != popprog.ProcReturned {
+				t.Fatalf("ctr=%d: outcome %v", before, out)
+			}
+			after := ctr2(c, regs, false)
+			if after != (before+1)%25 {
+				t.Fatalf("ctr %d → %d, want %d", before, after, (before+1)%25)
+			}
+			// Lower levels and R untouched; weak properness preserved.
+			if !c.IsWeaklyProper(regs, 2) {
+				t.Fatalf("ctr=%d: weak properness lost: %v",
+					before, regs.Format(c.Program.Registers))
+			}
+		}
+	}
+}
+
+func TestLemma11bReversibleOnHigh(t *testing.T) {
+	c := mustNew(t, 2)
+	// 2-high configuration: sums exceed N₂ on both digit pairs.
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.X(2), 2)
+	cfg.Set(c.XBar(2), 4)
+	cfg.Set(c.Y(2), 3)
+	cfg.Set(c.YBar(2), 4)
+	// Sample a forward execution, then check some backward execution
+	// restores the original configuration.
+	for seed := int64(0); seed < 10; seed++ {
+		out, _, fwd := runProc(t, c, cfg, "IncrPair(x2,y2)", seed)
+		if out != popprog.ProcReturned {
+			// On damaged configurations IncrPair may restart via nested
+			// AssertProper; that is allowed by robustness (Lemma 11c).
+			continue
+		}
+		restored := false
+		for back := int64(0); back < lemmaSamples*4; back++ {
+			out2, _, bwd := runProc(t, c, fwd, "IncrPair(xb2,yb2)", 1000+back)
+			if out2 == popprog.ProcReturned && bwd.Equal(cfg) {
+				restored = true
+				break
+			}
+		}
+		if !restored {
+			t.Fatalf("seed %d: no reverse execution restored the original (fwd=%v)",
+				seed, fwd.Format(c.Program.Registers))
+		}
+	}
+}
+
+// --- Lemma 12: Large ---
+
+func TestLemma12aWeaklyProper(t *testing.T) {
+	c := mustNew(t, 2)
+	full := weakly2Proper(c, 4, 0)  // x₂ = N₂
+	empty := weakly2Proper(c, 0, 0) // x₂ = 0
+	sawTrue, sawFalse := false, false
+	for seed := int64(0); seed < lemmaSamples*2; seed++ {
+		out, val, regs := runProc(t, c, full, "Large(x2)", seed)
+		if out != popprog.ProcReturned {
+			t.Fatalf("seed %d: outcome %v", seed, out)
+		}
+		if !regs.Equal(full) {
+			t.Fatalf("seed %d: Large changed a weakly proper configuration", seed)
+		}
+		if val {
+			sawTrue = true
+		} else {
+			sawFalse = true
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Fatalf("Large(x₂=N₂) outcomes: true=%v false=%v, want both", sawTrue, sawFalse)
+	}
+	for seed := int64(0); seed < lemmaSamples; seed++ {
+		out, val, regs := runProc(t, c, empty, "Large(x2)", seed)
+		if out != popprog.ProcReturned || val {
+			t.Fatalf("seed %d: Large(x₂=0) returned (%v, %v)", seed, out, val)
+		}
+		if !regs.Equal(empty) {
+			t.Fatalf("seed %d: registers changed", seed)
+		}
+	}
+}
+
+func TestLemma12bSwapEffectOnSuccess(t *testing.T) {
+	c := mustNew(t, 2)
+	// 1-proper with x₂ = 6 > N₂ and x̄₂ = 1: success must leave
+	// x₂' = x̄₂ + N₂ = 5, x̄₂' = x₂ − N₂ = 2.
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.X(2), 6)
+	cfg.Set(c.XBar(2), 1)
+	sawTrue := false
+	for seed := int64(0); seed < lemmaSamples*4 && !sawTrue; seed++ {
+		out, val, regs := runProc(t, c, cfg, "Large(x2)", seed)
+		if out != popprog.ProcReturned {
+			t.Fatalf("seed %d: outcome %v", seed, out)
+		}
+		if !val {
+			if !regs.Equal(cfg) {
+				t.Fatalf("seed %d: false return changed registers", seed)
+			}
+			continue
+		}
+		sawTrue = true
+		if regs.Count(c.X(2)) != 1+4 || regs.Count(c.XBar(2)) != 6-4 {
+			t.Fatalf("seed %d: success effect wrong: %v",
+				seed, regs.Format(c.Program.Registers))
+		}
+	}
+	if !sawTrue {
+		t.Fatal("Large(x₂ ≥ N₂) never returned true")
+	}
+}
+
+func TestLemma12Level1(t *testing.T) {
+	c := mustNew(t, 2)
+	// Level 1, N₁ = 1: Large(x̄₁) on the proper configuration.
+	cfg := properConfig(c, 0)
+	for seed := int64(0); seed < lemmaSamples; seed++ {
+		out, val, regs := runProc(t, c, cfg, "Large(xb1)", seed)
+		if out != popprog.ProcReturned {
+			t.Fatalf("seed %d: outcome %v", seed, out)
+		}
+		if val && !regs.Equal(cfg) {
+			t.Fatalf("seed %d: success on proper config must not change registers", seed)
+		}
+	}
+}
+
+// --- Lemma 4 behaviour of Main (sampled) ---
+
+func TestLemma4MainRestartsFromBadConfig(t *testing.T) {
+	c := mustNew(t, 2)
+	// An 11-agent configuration that is 2-high (not good): Main must keep
+	// restarting rather than stabilise.
+	bad := properConfig(c, 0)
+	bad.Set(c.X(2), 1)
+	oracle := popprog.NewRandomOracle(sched.NewRand(7))
+	// Force every restart back to the same bad configuration so the run
+	// can never escape: every observation is then about bad-config
+	// behaviour.
+	oracle.Hint = func(total int64, regs *multiset.Multiset) {
+		for i := 0; i < regs.Len(); i++ {
+			regs.Set(i, bad.Count(i))
+		}
+	}
+	oracle.HintProb = 1.0
+	it, err := popprog.NewInterp(c.Program, oracle, bad.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Run(300_000)
+	if it.Restarts == 0 {
+		t.Fatal("Main never restarted from a 2-high configuration")
+	}
+	if it.QuietSteps() > 200_000 {
+		t.Fatalf("Main went quiet on a bad configuration (quiet %d)", it.QuietSteps())
+	}
+}
+
+func TestLemma4MainStabilisesFromGoodConfigs(t *testing.T) {
+	c := mustNew(t, 2)
+	for _, m := range []int64{3, 7, 10, 12} {
+		cfg, err := c.GoodConfig(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := popprog.Decide(c.Program, cfg, popprog.DecideOptions{
+			Seed: m, Budget: 3_000_000, TruthProb: 0.8, Attempts: 4,
+			RestartHint: c.RestartHint(), HintProb: 0.3,
+		})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if want := m >= 10; res.Output != want {
+			t.Fatalf("m=%d: decided %v, want %v", m, res.Output, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+// Exact verification of the remaining post-set clauses of Appendix A
+// (Lemmas 9c, 10b, 11b, 12a) via compile.PostSet.
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/multiset"
+)
+
+// TestExactLemma9c — AssertProper(2) on a 1-proper configuration with
+// C(x̄₂) > N₂ can restart.
+func TestExactLemma9c(t *testing.T) {
+	c := mustNew(t, 2)
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.XBar(2), 6) // > N₂ = 4
+	cfg.Set(c.YBar(2), 4)
+	outs := postSet(t, c, "AssertProper(2)", cfg)
+	_, restarts, hangs := classify(outs)
+	if restarts == 0 {
+		t.Fatalf("overfull bar: restart missing from post-set %v", outs)
+	}
+	if hangs != 0 {
+		t.Fatalf("overfull bar: %d hangs", hangs)
+	}
+}
+
+// TestExactLemma10b — Zero(x) on a 1-proper configuration with
+// C(x) + C(x̄) > N₂: post = {(C, false) iff C(x) > 0} ∪ {(C′, true) iff
+// C(x̄) ≥ N₂} with C′(x̄) = C(x) + N₂, C′(x) = C(x̄) − N₂.
+func TestExactLemma10b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive post-sets are slow")
+	}
+	c := mustNew(t, 2)
+	cases := []struct{ x, xbar int64 }{
+		{2, 4}, // both outcomes possible
+		{0, 6}, // only true possible
+		{5, 1}, // only false possible (x̄ < N₂)
+	}
+	for _, tc := range cases {
+		cfg := multiset.New(c.NumRegisters())
+		cfg.Set(c.XBar(1), 1)
+		cfg.Set(c.YBar(1), 1)
+		cfg.Set(c.X(2), tc.x)
+		cfg.Set(c.XBar(2), tc.xbar)
+		cfg.Set(c.YBar(2), 4) // keep y-pair intact so Large terminates
+		outs := postSet(t, c, "Zero(x2)", cfg)
+		returned, restarts, hangs := classify(outs)
+		if restarts != 0 || hangs != 0 {
+			t.Fatalf("x=%d x̄=%d: restarts=%d hangs=%d", tc.x, tc.xbar, restarts, hangs)
+		}
+		wantFalse := tc.x > 0
+		wantTrue := tc.xbar >= 4
+		var sawFalse, sawTrue bool
+		for _, o := range returned {
+			if !o.Value {
+				sawFalse = true
+				if !o.Regs.Equal(cfg) {
+					t.Fatalf("x=%d x̄=%d: false outcome changed registers", tc.x, tc.xbar)
+				}
+				continue
+			}
+			sawTrue = true
+			want := cfg.Clone()
+			want.Set(c.XBar(2), tc.x+4)
+			want.Set(c.X(2), tc.xbar-4)
+			if !o.Regs.Equal(want) {
+				t.Fatalf("x=%d x̄=%d: true outcome registers %v, want %v",
+					tc.x, tc.xbar,
+					o.Regs.Format(c.Program.Registers), want.Format(c.Program.Registers))
+			}
+		}
+		if sawFalse != wantFalse || sawTrue != wantTrue {
+			t.Fatalf("x=%d x̄=%d: outcomes false=%v/%v true=%v/%v",
+				tc.x, tc.xbar, sawFalse, wantFalse, sawTrue, wantTrue)
+		}
+	}
+}
+
+// TestExactLemma11b — reversibility: every C′ ∈ post(C, IncrPair(x₂,y₂)) on
+// a 2-high configuration satisfies C ∈ post(C′, IncrPair(x̄₂,ȳ₂)).
+func TestExactLemma11b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive post-sets are slow")
+	}
+	c := mustNew(t, 2)
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.X(2), 2)
+	cfg.Set(c.XBar(2), 4)
+	cfg.Set(c.Y(2), 3)
+	cfg.Set(c.YBar(2), 4)
+	fwd := postSet(t, c, "IncrPair(x2,y2)", cfg)
+	checkedAny := false
+	for _, o := range fwd {
+		if o.Kind != compile.OutcomeReturned {
+			continue // restarts are allowed on damaged configurations
+		}
+		back := postSet(t, c, "IncrPair(xb2,yb2)", o.Regs)
+		found := false
+		for _, b := range back {
+			if b.Kind == compile.OutcomeReturned && b.Regs.Equal(cfg) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("forward outcome %v is not reversible",
+				o.Regs.Format(c.Program.Registers))
+		}
+		checkedAny = true
+	}
+	if !checkedAny {
+		t.Fatal("no returned forward outcomes to check")
+	}
+}
+
+// TestExactLemma12a — Large(x) on weakly 2-proper configurations:
+// post = {(C, false)} ∪ {(C, true) iff C(x) ≥ N₂}, registers never change.
+func TestExactLemma12a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive post-sets are slow")
+	}
+	c := mustNew(t, 2)
+	for _, a := range []int64{0, 2, 4} {
+		cfg := weakly2Proper(c, a, 1)
+		outs := postSet(t, c, "Large(x2)", cfg)
+		returned, restarts, hangs := classify(outs)
+		if restarts != 0 || hangs != 0 {
+			t.Fatalf("a=%d: restarts=%d hangs=%d", a, restarts, hangs)
+		}
+		var sawFalse, sawTrue bool
+		for _, o := range returned {
+			if !o.Regs.Equal(cfg) {
+				t.Fatalf("a=%d: Large changed a weakly proper configuration", a)
+			}
+			if o.Value {
+				sawTrue = true
+			} else {
+				sawFalse = true
+			}
+		}
+		if !sawFalse {
+			t.Fatalf("a=%d: false outcome missing", a)
+		}
+		if sawTrue != (a >= 4) {
+			t.Fatalf("a=%d: true outcome present=%v, want %v", a, sawTrue, a >= 4)
+		}
+	}
+}

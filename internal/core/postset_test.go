@@ -1,0 +1,204 @@
+package core
+
+// EXACT verification of the procedure contracts of Appendix A on the n = 2
+// construction: post(C, f) is computed exhaustively (compile.PostSet
+// explores every machine execution), so these tests check the lemmas'
+// post-set equalities literally rather than by sampling.
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/multiset"
+)
+
+// postSet wraps compile.PostSet with the construction's program.
+func postSet(t *testing.T, c *Construction, proc string, cfg *multiset.Multiset) []compile.Outcome {
+	t.Helper()
+	out, err := compile.PostSet(c.Program, proc, cfg, 3_000_000)
+	if err != nil {
+		t.Fatalf("PostSet(%s): %v", proc, err)
+	}
+	return out
+}
+
+// classify splits outcomes by kind.
+func classify(outs []compile.Outcome) (returned []compile.Outcome, restarts, hangs int) {
+	for _, o := range outs {
+		switch o.Kind {
+		case compile.OutcomeReturned:
+			returned = append(returned, o)
+		case compile.OutcomeRestarted:
+			restarts++
+		case compile.OutcomeHung:
+			hangs++
+		}
+	}
+	return returned, restarts, hangs
+}
+
+// TestExactLemma8 — post(C, AssertEmpty(2)) = {C} ∪ {restart iff not 2-empty}.
+func TestExactLemma8(t *testing.T) {
+	c := mustNew(t, 2)
+	empty := multiset.New(c.NumRegisters())
+	empty.Set(c.X(1), 2)
+	empty.Set(c.XBar(1), 1)
+	nonEmpty := empty.Clone()
+	nonEmpty.Set(c.Y(2), 1)
+
+	outs := postSet(t, c, "AssertEmpty(2)", empty)
+	returned, restarts, hangs := classify(outs)
+	if restarts != 0 || hangs != 0 {
+		t.Fatalf("2-empty: restarts=%d hangs=%d, want none", restarts, hangs)
+	}
+	if len(returned) != 1 || !returned[0].Regs.Equal(empty) {
+		t.Fatalf("2-empty: post = %v, want exactly {C}", outs)
+	}
+
+	outs = postSet(t, c, "AssertEmpty(2)", nonEmpty)
+	returned, restarts, hangs = classify(outs)
+	if restarts != 1 || hangs != 0 {
+		t.Fatalf("non-empty: restarts=%d hangs=%d, want 1/0", restarts, hangs)
+	}
+	if len(returned) != 1 || !returned[0].Regs.Equal(nonEmpty) {
+		t.Fatalf("non-empty: returned outcomes %v, want exactly {C}", returned)
+	}
+}
+
+// TestExactLemma9a — post(C, AssertProper(2)) = {C} on proper and low configs.
+func TestExactLemma9a(t *testing.T) {
+	c := mustNew(t, 2)
+	for name, cfg := range map[string]*multiset.Multiset{
+		"proper": properConfig(c, 0),
+		"low": func() *multiset.Multiset {
+			low := multiset.New(c.NumRegisters())
+			low.Set(c.XBar(1), 1)
+			low.Set(c.YBar(1), 1)
+			low.Set(c.XBar(2), 2)
+			low.Set(c.YBar(2), 4)
+			return low
+		}(),
+	} {
+		outs := postSet(t, c, "AssertProper(2)", cfg)
+		returned, restarts, hangs := classify(outs)
+		if restarts != 0 || hangs != 0 {
+			t.Fatalf("%s: restarts=%d hangs=%d, want none", name, restarts, hangs)
+		}
+		if len(returned) != 1 || !returned[0].Regs.Equal(cfg) {
+			t.Fatalf("%s: post has %d returned outcomes, want exactly {C}", name, len(returned))
+		}
+	}
+}
+
+// TestExactLemma9b — AssertProper(2) on a 2-high configuration may restart
+// (and never hangs).
+func TestExactLemma9b(t *testing.T) {
+	c := mustNew(t, 2)
+	high := properConfig(c, 0)
+	high.Set(c.X(2), 2)
+	outs := postSet(t, c, "AssertProper(2)", high)
+	_, restarts, hangs := classify(outs)
+	if restarts == 0 {
+		t.Fatalf("2-high: no restart in post-set %v", outs)
+	}
+	if hangs != 0 {
+		t.Fatalf("2-high: %d hangs (robustness forbids them)", hangs)
+	}
+}
+
+// TestExactLemma10a — post(C, Zero(x)) = {(C, C(x) = 0)} on weakly 2-proper
+// configurations, for every counter value.
+func TestExactLemma10a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive post-sets are slow")
+	}
+	c := mustNew(t, 2)
+	for a := int64(0); a <= 4; a++ {
+		cfg := weakly2Proper(c, a, 1)
+		outs := postSet(t, c, "Zero(x2)", cfg)
+		returned, restarts, hangs := classify(outs)
+		if restarts != 0 || hangs != 0 {
+			t.Fatalf("a=%d: restarts=%d hangs=%d", a, restarts, hangs)
+		}
+		if len(returned) != 1 {
+			t.Fatalf("a=%d: %d returned outcomes, want 1 (deterministic)", a, len(returned))
+		}
+		if returned[0].Value != (a == 0) {
+			t.Fatalf("a=%d: Zero returned %v", a, returned[0].Value)
+		}
+		if !returned[0].Regs.Equal(cfg) {
+			t.Fatalf("a=%d: registers changed", a)
+		}
+	}
+}
+
+// TestExactLemma11a — post(C, IncrPair(x2,y2)) = {C′} with
+// ctr(C′) = ctr(C) + 1 (mod 25), on weakly 2-proper configurations.
+func TestExactLemma11a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive post-sets are slow")
+	}
+	c := mustNew(t, 2)
+	for _, ab := range [][2]int64{{0, 0}, {0, 4}, {2, 3}, {4, 4}, {4, 0}} {
+		cfg := weakly2Proper(c, ab[0], ab[1])
+		before := ctr2(c, cfg, false)
+		outs := postSet(t, c, "IncrPair(x2,y2)", cfg)
+		returned, restarts, hangs := classify(outs)
+		if restarts != 0 || hangs != 0 {
+			t.Fatalf("ctr=%d: restarts=%d hangs=%d", before, restarts, hangs)
+		}
+		if len(returned) != 1 {
+			t.Fatalf("ctr=%d: %d outcomes, want 1", before, len(returned))
+		}
+		after := ctr2(c, returned[0].Regs, false)
+		if after != (before+1)%25 {
+			t.Fatalf("ctr %d → %d, want %d", before, after, (before+1)%25)
+		}
+	}
+}
+
+// TestExactLemma12b — post(C, Large(x2)) on a 1-proper configuration is
+// exactly {(C, false)} ∪ {(C′, true) iff C(x2) ≥ N₂}, with C′ the swap of
+// the lemma.
+func TestExactLemma12b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive post-sets are slow")
+	}
+	c := mustNew(t, 2)
+	for _, x2 := range []int64{2, 4, 6} {
+		cfg := multiset.New(c.NumRegisters())
+		cfg.Set(c.XBar(1), 1)
+		cfg.Set(c.YBar(1), 1)
+		cfg.Set(c.X(2), x2)
+		cfg.Set(c.XBar(2), 1)
+		outs := postSet(t, c, "Large(x2)", cfg)
+		returned, restarts, hangs := classify(outs)
+		if restarts != 0 || hangs != 0 {
+			t.Fatalf("x2=%d: restarts=%d hangs=%d", x2, restarts, hangs)
+		}
+		var sawFalse, sawTrue bool
+		for _, o := range returned {
+			if !o.Value {
+				sawFalse = true
+				if !o.Regs.Equal(cfg) {
+					t.Fatalf("x2=%d: false outcome changed registers", x2)
+				}
+				continue
+			}
+			sawTrue = true
+			want := cfg.Clone()
+			want.Set(c.X(2), cfg.Count(c.XBar(2))+4)
+			want.Set(c.XBar(2), cfg.Count(c.X(2))-4)
+			if !o.Regs.Equal(want) {
+				t.Fatalf("x2=%d: true outcome registers %v, want %v",
+					x2, o.Regs.Format(c.Program.Registers), want.Format(c.Program.Registers))
+			}
+		}
+		if !sawFalse {
+			t.Fatalf("x2=%d: (C, false) missing from post-set", x2)
+		}
+		if sawTrue != (x2 >= 4) {
+			t.Fatalf("x2=%d: true outcome present=%v, want %v", x2, sawTrue, x2 >= 4)
+		}
+	}
+}

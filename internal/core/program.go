@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/popprog"
+)
+
+// Construction is the paper's n-level succinct threshold construction: a
+// population program of size O(n) deciding x ≥ K with K = 2·ΣNᵢ.
+type Construction struct {
+	// Levels is n, the number of register levels.
+	Levels int
+	// Ns holds N₁..N_n.
+	Ns []*big.Int
+	// K is the decided threshold 2·ΣNᵢ.
+	K *big.Int
+	// Program is the generated population program.
+	Program *popprog.Program
+
+	lay      layout
+	procs    map[string]int
+	equality bool
+}
+
+// New builds the n-level construction of §6.
+func New(n int) (*Construction, error) {
+	ns, err := LevelConstants(n)
+	if err != nil {
+		return nil, err
+	}
+	k, err := Threshold(n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Construction{
+		Levels: n,
+		Ns:     ns,
+		K:      k,
+		lay:    layout{levels: n},
+		procs:  make(map[string]int),
+	}
+	c.Program = c.build()
+	if err := c.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated program invalid: %w", err)
+	}
+	return c, nil
+}
+
+// Layout accessors, exported for the tests and experiments.
+
+// X returns the register index of xᵢ.
+func (c *Construction) X(i int) int { return c.lay.X(i) }
+
+// XBar returns the register index of x̄ᵢ.
+func (c *Construction) XBar(i int) int { return c.lay.XBar(i) }
+
+// Y returns the register index of yᵢ.
+func (c *Construction) Y(i int) int { return c.lay.Y(i) }
+
+// YBar returns the register index of ȳᵢ.
+func (c *Construction) YBar(i int) int { return c.lay.YBar(i) }
+
+// R returns the register index of R.
+func (c *Construction) R() int { return c.lay.R() }
+
+// Bar returns the partner register.
+func (c *Construction) Bar(reg int) int { return c.lay.Bar(reg) }
+
+// NumRegisters returns 4n + 1.
+func (c *Construction) NumRegisters() int { return c.lay.NumRegisters() }
+
+// procedure naming ----------------------------------------------------------
+
+func (c *Construction) regName(reg int) string { return c.Program.Registers[reg] }
+
+func assertEmptyName(i int) string  { return fmt.Sprintf("AssertEmpty(%d)", i) }
+func assertProperName(i int) string { return fmt.Sprintf("AssertProper(%d)", i) }
+
+func (c *Construction) largeName(reg int) string {
+	return fmt.Sprintf("Large(%s)", c.regName(reg))
+}
+
+func (c *Construction) zeroName(reg int) string {
+	return fmt.Sprintf("Zero(%s)", c.regName(reg))
+}
+
+func (c *Construction) incrPairName(x, y int) string {
+	return fmt.Sprintf("IncrPair(%s,%s)", c.regName(x), c.regName(y))
+}
+
+func (c *Construction) proc(name string) int {
+	idx, ok := c.procs[name]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown procedure %q", name))
+	}
+	return idx
+}
+
+// build ----------------------------------------------------------------------
+
+func (c *Construction) build() *popprog.Program {
+	n := c.Levels
+	kind := "threshold"
+	if c.equality {
+		kind = "equality"
+	}
+	prog := &popprog.Program{
+		Name:      fmt.Sprintf("czerner-%s-n%d", kind, n),
+		Registers: c.lay.Names(),
+	}
+	c.Program = prog // regName needs it during body construction
+
+	// Declare all procedures first so bodies can reference indices freely.
+	declare := func(name string, returns bool) *popprog.Procedure {
+		p := &popprog.Procedure{Name: name, Returns: returns}
+		c.procs[name] = len(prog.Procedures)
+		prog.Procedures = append(prog.Procedures, p)
+		return p
+	}
+
+	main := declare("Main", false)
+	assertEmpty := make([]*popprog.Procedure, n+2)
+	for i := 1; i <= n+1; i++ {
+		assertEmpty[i] = declare(assertEmptyName(i), false)
+	}
+	assertProper := make([]*popprog.Procedure, n+1)
+	for i := 1; i <= n; i++ {
+		assertProper[i] = declare(assertProperName(i), false)
+	}
+	large := make(map[int]*popprog.Procedure)
+	zero := make(map[int]*popprog.Procedure)
+	for i := 1; i <= n; i++ {
+		for _, reg := range c.lay.LevelRegisters(i) {
+			large[reg] = declare(c.largeName(reg), true)
+			zero[reg] = declare(c.zeroName(reg), true)
+		}
+	}
+	incrPair := make(map[[2]int]*popprog.Procedure)
+	for i := 1; i <= n; i++ {
+		for _, pair := range [][2]int{
+			{c.lay.X(i), c.lay.Y(i)},
+			{c.lay.XBar(i), c.lay.YBar(i)},
+		} {
+			incrPair[pair] = declare(c.incrPairName(pair[0], pair[1]), false)
+		}
+	}
+
+	// Fill bodies.
+	for i := 1; i <= n+1; i++ {
+		assertEmpty[i].Body = c.assertEmptyBody(i)
+	}
+	for i := 1; i <= n; i++ {
+		assertProper[i].Body = c.assertProperBody(i)
+	}
+	for i := 1; i <= n; i++ {
+		for _, reg := range c.lay.LevelRegisters(i) {
+			large[reg].Body = c.largeBody(reg, i)
+			zero[reg].Body = c.zeroBody(reg, i)
+		}
+	}
+	for pair := range incrPair {
+		incrPair[pair].Body = c.incrPairBody(pair[0], pair[1])
+	}
+	main.Body = c.mainBody()
+	return prog
+}
+
+// assertEmptyBody implements Algorithm AssertEmpty: restart if any register
+// on level ≥ i is non-empty.
+func (c *Construction) assertEmptyBody(i int) []popprog.Stmt {
+	if i == c.Levels+1 {
+		return []popprog.Stmt{
+			popprog.If{
+				Cond: popprog.Detect{Reg: c.lay.R()},
+				Then: []popprog.Stmt{popprog.Restart{}},
+			},
+		}
+	}
+	body := []popprog.Stmt{popprog.Call{Proc: c.proc(assertEmptyName(i + 1))}}
+	for _, reg := range c.lay.LevelRegisters(i) {
+		body = append(body, popprog.If{
+			Cond: popprog.Detect{Reg: reg},
+			Then: []popprog.Stmt{popprog.Restart{}},
+		})
+	}
+	return body
+}
+
+// assertProperBody implements Algorithm AssertProper: if the configuration
+// is i-proper or i-low it has no effect; i-high configurations may restart.
+// For x ∈ {xᵢ, yᵢ}: a non-empty x restarts; then Large(x̄) exposes any
+// excess x̄ > Nᵢ by moving it into x, and a second detect restarts.
+func (c *Construction) assertProperBody(i int) []popprog.Stmt {
+	var body []popprog.Stmt
+	if i > 1 {
+		body = append(body, popprog.Call{Proc: c.proc(assertProperName(i - 1))})
+	}
+	for _, x := range []int{c.lay.X(i), c.lay.Y(i)} {
+		body = append(body,
+			popprog.If{
+				Cond: popprog.Detect{Reg: x},
+				Then: []popprog.Stmt{popprog.Restart{}},
+			},
+			popprog.Call{Proc: c.proc(c.largeName(c.lay.Bar(x)))},
+			popprog.If{
+				Cond: popprog.Detect{Reg: x},
+				Then: []popprog.Stmt{popprog.Restart{}},
+			},
+		)
+	}
+	return body
+}
+
+// zeroBody implements Algorithm Zero: a deterministic zero-check on a level
+// register under the invariant x + x̄ = Nᵢ. It loops until either x is
+// caught non-empty (false) or x̄ is certified ≥ Nᵢ (true, so x = 0).
+// AssertProper(i−1) inside the loop guarantees termination on damaged
+// lower levels.
+func (c *Construction) zeroBody(x, i int) []popprog.Stmt {
+	var loop []popprog.Stmt
+	if i > 1 {
+		loop = append(loop, popprog.Call{Proc: c.proc(assertProperName(i - 1))})
+	}
+	loop = append(loop,
+		popprog.If{
+			Cond: popprog.Detect{Reg: x},
+			Then: []popprog.Stmt{popprog.Return{HasValue: true, Value: false}},
+		},
+		popprog.If{
+			Cond: popprog.CallCond{Proc: c.proc(c.largeName(c.lay.Bar(x)))},
+			Then: []popprog.Stmt{popprog.Return{HasValue: true, Value: true}},
+		},
+	)
+	return []popprog.Stmt{popprog.While{Cond: popprog.True{}, Body: loop}}
+}
+
+// incrPairBody implements Algorithm IncrPair: increment the two-digit,
+// base-β counter ctr = β·x + y (β = Nᵢ+1) modulo β² = Nᵢ₊₁. If the low
+// digit y is maximal (ȳ = 0) it wraps to 0 and the high digit x is
+// incremented, itself wrapping if maximal.
+func (c *Construction) incrPairBody(x, y int) []popprog.Stmt {
+	xb, yb := c.lay.Bar(x), c.lay.Bar(y)
+	return []popprog.Stmt{
+		popprog.If{
+			Cond: popprog.CallCond{Proc: c.proc(c.zeroName(yb))},
+			Then: []popprog.Stmt{
+				popprog.Swap{A: y, B: yb},
+				popprog.If{
+					Cond: popprog.CallCond{Proc: c.proc(c.zeroName(xb))},
+					Then: []popprog.Stmt{popprog.Swap{A: x, B: xb}},
+					Else: []popprog.Stmt{popprog.Move{From: xb, To: x}},
+				},
+			},
+			Else: []popprog.Stmt{popprog.Move{From: yb, To: y}},
+		},
+	}
+}
+
+// largeBody implements Algorithm Large: nondeterministically certify
+// x ≥ Nᵢ. For i = 1 (N₁ = 1) a single detect suffices. For i > 1 the
+// level-(i−1) registers simulate an Nᵢ-bounded counter via IncrPair; a
+// "random walk" moves units x → x̄ (incrementing) or back (decrementing)
+// until the counter overflows (return true, after swapping the Nᵢ moved
+// units back into x) or returns to zero (return false, no net effect).
+func (c *Construction) largeBody(x, i int) []popprog.Stmt {
+	xb := c.lay.Bar(x)
+	if i == 1 {
+		return []popprog.Stmt{
+			popprog.If{
+				Cond: popprog.Detect{Reg: x},
+				Then: []popprog.Stmt{
+					popprog.Move{From: x, To: xb},
+					popprog.Swap{A: x, B: xb},
+					popprog.Return{HasValue: true, Value: true},
+				},
+				Else: []popprog.Stmt{popprog.Return{HasValue: true, Value: false}},
+			},
+		}
+	}
+
+	xd, yd := c.lay.X(i-1), c.lay.Y(i-1)         // counter digits
+	xdb, ydb := c.lay.XBar(i-1), c.lay.YBar(i-1) // their partners
+	zeroX := popprog.CallCond{Proc: c.proc(c.zeroName(xd))}
+	zeroY := popprog.CallCond{Proc: c.proc(c.zeroName(yd))}
+	counterZero := popprog.And{L: zeroX, R: zeroY}
+
+	var loop []popprog.Stmt
+	if i > 2 {
+		loop = append(loop, popprog.Call{Proc: c.proc(assertProperName(i - 2))})
+	}
+	loop = append(loop, popprog.If{
+		Cond: popprog.Detect{Reg: x},
+		Then: []popprog.Stmt{
+			popprog.Move{From: x, To: xb},
+			popprog.Call{Proc: c.proc(c.incrPairName(xd, yd))},
+			popprog.If{
+				Cond: counterZero,
+				Then: []popprog.Stmt{
+					popprog.Swap{A: x, B: xb},
+					popprog.Return{HasValue: true, Value: true},
+				},
+			},
+		},
+		Else: []popprog.Stmt{
+			popprog.If{
+				Cond: counterZero,
+				Then: []popprog.Stmt{popprog.Return{HasValue: true, Value: false}},
+			},
+			popprog.If{
+				Cond: popprog.Detect{Reg: xb},
+				Then: []popprog.Stmt{
+					popprog.Move{From: xb, To: x},
+					popprog.Call{Proc: c.proc(c.incrPairName(xdb, ydb))},
+				},
+			},
+		},
+	})
+
+	return []popprog.Stmt{
+		popprog.If{
+			Cond: popprog.Or{
+				L: popprog.Not{C: zeroX},
+				R: popprog.Not{C: zeroY},
+			},
+			Then: []popprog.Stmt{popprog.Restart{}},
+		},
+		popprog.While{Cond: popprog.True{}, Body: loop},
+	}
+}
+
+// mainBody implements Algorithm Main: for each level i, loop until both
+// Large(x̄ᵢ) and Large(ȳᵢ) certify their registers hold Nᵢ, restarting via
+// AssertProper/AssertEmpty whenever the configuration is high or
+// insufficiently empty. Once all n levels are certified, set OF and keep
+// re-asserting properness forever (the construction is not 1-aware: it
+// accepts only provisionally).
+func (c *Construction) mainBody() []popprog.Stmt {
+	body := []popprog.Stmt{popprog.SetOF{Value: false}}
+	for i := 1; i <= c.Levels; i++ {
+		cond := popprog.Or{
+			L: popprog.Not{C: popprog.CallCond{Proc: c.proc(c.largeName(c.lay.XBar(i)))}},
+			R: popprog.Not{C: popprog.CallCond{Proc: c.proc(c.largeName(c.lay.YBar(i)))}},
+		}
+		body = append(body, popprog.While{
+			Cond: cond,
+			Body: []popprog.Stmt{
+				popprog.Call{Proc: c.proc(assertProperName(i))},
+				popprog.Call{Proc: c.proc(assertEmptyName(i + 1))},
+			},
+		})
+	}
+	if c.equality {
+		return append(body, c.equalityTail()...)
+	}
+	body = append(body,
+		popprog.SetOF{Value: true},
+		popprog.While{
+			Cond: popprog.True{},
+			Body: []popprog.Stmt{popprog.Call{Proc: c.proc(assertProperName(c.Levels))}},
+		},
+	)
+	return body
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/multiset"
+	"repro/internal/sched"
+)
+
+// Property: GoodConfig(m) always has exactly m agents, and it classifies as
+// the proof of Theorem 3 requires — n-proper for m ≥ k, else j-low (or
+// j-proper) and (j+1)-empty at the level GoodLevel reports.
+func TestQuickGoodConfigInvariants(t *testing.T) {
+	c := mustNew(t, 3) // k = 60
+	f := func(mRaw uint16) bool {
+		m := int64(mRaw % 200)
+		cfg, err := c.GoodConfig(m)
+		if err != nil {
+			return false
+		}
+		if cfg.Size() != m {
+			return false
+		}
+		j, above := c.GoodLevel(m)
+		if above {
+			return c.IsProper(cfg, c.Levels)
+		}
+		lowOK := c.IsLow(cfg, j) && c.IsEmpty(cfg, j+1)
+		properOK := c.IsProper(cfg, j) && c.IsEmpty(cfg, j+1)
+		return lowOK || properOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: i-proper implies weakly i-proper; low and high imply not
+// proper; low and high are mutually exclusive at the same level (low needs
+// a strictly deficient bar, high needs full sums).
+func TestQuickClassHierarchy(t *testing.T) {
+	c := mustNew(t, 2)
+	rng := sched.NewRand(31)
+	for trial := 0; trial < 3000; trial++ {
+		cfg := multiset.New(c.NumRegisters())
+		sched.RandomComposition(rng, cfg, int64(rng.Intn(14)))
+		for i := 1; i <= 2; i++ {
+			proper := c.IsProper(cfg, i)
+			weakly := c.IsWeaklyProper(cfg, i)
+			low := c.IsLow(cfg, i)
+			high := c.IsHigh(cfg, i)
+			if proper && !weakly {
+				t.Fatalf("proper without weakly-proper at level %d: %v",
+					i, cfg.Format(c.Program.Registers))
+			}
+			if (low || high) && proper {
+				t.Fatalf("low/high and proper simultaneously at level %d: %v",
+					i, cfg.Format(c.Program.Registers))
+			}
+			if low && high {
+				// low: bars ≤ Nᵢ with x = 0 and not proper, so some bar is
+				// strictly short; high: x + x̄ ≥ Nᵢ for both pairs. With
+				// x = y = 0 these force bars = Nᵢ, i.e. proper —
+				// contradiction. The classes are disjoint.
+				t.Fatalf("low and high simultaneously at level %d: %v",
+					i, cfg.Format(c.Program.Registers))
+			}
+			if len(c.Classify(cfg, i)) == 0 {
+				t.Fatal("Classify returned nothing")
+			}
+		}
+	}
+}
+
+// Property: the restart hint preserves the population size and always
+// produces a good configuration.
+func TestQuickRestartHintPreservesTotals(t *testing.T) {
+	c := mustNew(t, 2)
+	hint := c.RestartHint()
+	rng := sched.NewRand(17)
+	for trial := 0; trial < 500; trial++ {
+		cfg := multiset.New(c.NumRegisters())
+		total := int64(rng.Intn(25))
+		sched.RandomComposition(rng, cfg, total)
+		hint(total, cfg)
+		if cfg.Size() != total {
+			t.Fatalf("hint changed the population: %d → %d", total, cfg.Size())
+		}
+		good, err := c.GoodConfig(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Equal(good) {
+			t.Fatalf("hint produced a non-good configuration: %v",
+				cfg.Format(c.Program.Registers))
+		}
+	}
+}
+
+// Property: thresholds are monotone in n and always double-exponential.
+func TestQuickThresholdMonotonicity(t *testing.T) {
+	prev, err := Threshold(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 2; n <= 14; n++ {
+		k, err := Threshold(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// k(n) > k(n−1)² / 4: squaring growth.
+		sq := new(big.Int).Mul(prev, prev)
+		if k.Cmp(sq.Rsh(sq, 2)) < 0 {
+			t.Fatalf("k(%d) grows too slowly", n)
+		}
+		prev = k
+	}
+}
+
+// Property: level constants satisfy the recurrence exactly.
+func TestQuickLevelRecurrence(t *testing.T) {
+	ns, err := LevelConstants(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ns); i++ {
+		expect := new(big.Int).Add(ns[i-1], big.NewInt(1))
+		expect.Mul(expect, expect)
+		if ns[i].Cmp(expect) != 0 {
+			t.Fatalf("N_%d != (N_%d + 1)²", i+1, i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Register layout: levels are 1-based; level i occupies indices
+// 4(i−1)..4(i−1)+3 in the order xᵢ, x̄ᵢ, yᵢ, ȳᵢ; the level-(n+1) register R
+// is the last index. The pairing x ↔ x̄ and y ↔ ȳ is an XOR with 1, which
+// keeps Bar trivially an involution.
+type layout struct {
+	levels int
+}
+
+// X returns the index of xᵢ.
+func (l layout) X(i int) int { return 4 * (i - 1) }
+
+// XBar returns the index of x̄ᵢ.
+func (l layout) XBar(i int) int { return 4*(i-1) + 1 }
+
+// Y returns the index of yᵢ.
+func (l layout) Y(i int) int { return 4*(i-1) + 2 }
+
+// YBar returns the index of ȳᵢ.
+func (l layout) YBar(i int) int { return 4*(i-1) + 3 }
+
+// R returns the index of the level-(n+1) register R.
+func (l layout) R() int { return 4 * l.levels }
+
+// NumRegisters returns 4n + 1.
+func (l layout) NumRegisters() int { return 4*l.levels + 1 }
+
+// Bar returns the partner register (x ↔ x̄, y ↔ ȳ); R has no partner and
+// panics, matching the paper, where only level registers are paired.
+func (l layout) Bar(reg int) int {
+	if reg == l.R() {
+		panic("core: register R has no bar partner")
+	}
+	return reg ^ 1
+}
+
+// Level returns the level of a register index (n+1 for R).
+func (l layout) Level(reg int) int {
+	if reg == l.R() {
+		return l.levels + 1
+	}
+	return reg/4 + 1
+}
+
+// LevelRegisters returns the four register indices of level i, in the
+// order xᵢ, x̄ᵢ, yᵢ, ȳᵢ.
+func (l layout) LevelRegisters(i int) []int {
+	return []int{l.X(i), l.XBar(i), l.Y(i), l.YBar(i)}
+}
+
+// Names returns the register display names, e.g. x1, xb1, y1, yb1, …, R.
+func (l layout) Names() []string {
+	names := make([]string, 0, l.NumRegisters())
+	for i := 1; i <= l.levels; i++ {
+		s := strconv.Itoa(i)
+		names = append(names, "x"+s, "xb"+s, "y"+s, "yb"+s)
+	}
+	return append(names, "R")
+}
+
+func (l layout) checkLevel(i int) error {
+	if i < 1 || i > l.levels {
+		return fmt.Errorf("core: level %d out of range 1..%d", i, l.levels)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package core
+
+// Sampled verification of the robustness clauses of Appendix A (Lemmas 9d,
+// 10d, 11c, 12c): on a j-high configuration, each procedure either
+// terminates or restarts (never hangs, never exceeds a generous budget),
+// and whenever it terminates normally the configuration is still j-high.
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/popprog"
+	"repro/internal/sched"
+)
+
+// high1 builds a 1-high configuration of the n = 2 construction: level-1
+// sums exceed N₁ = 1 on both pairs, and level 1 is not proper.
+func high1(c *Construction) *multiset.Multiset {
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.X(1), 1)
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.Y(1), 2)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.XBar(2), 2)
+	return cfg
+}
+
+// high2 builds a 2-high configuration (level 1 proper, level 2 overfull).
+func high2(c *Construction) *multiset.Multiset {
+	cfg := multiset.New(c.NumRegisters())
+	cfg.Set(c.XBar(1), 1)
+	cfg.Set(c.YBar(1), 1)
+	cfg.Set(c.X(2), 2)
+	cfg.Set(c.XBar(2), 4)
+	cfg.Set(c.Y(2), 1)
+	cfg.Set(c.YBar(2), 4)
+	return cfg
+}
+
+func TestRobustnessClausesOnHighConfigurations(t *testing.T) {
+	c := mustNew(t, 2)
+	cases := []struct {
+		level int
+		build func(*Construction) *multiset.Multiset
+	}{
+		{1, high1},
+		{2, high2},
+	}
+	procedures := []string{
+		"AssertEmpty(2)", "AssertProper(1)", "AssertProper(2)",
+		"Zero(x1)", "Zero(xb1)", "Zero(x2)", "Zero(xb2)", "Zero(y2)",
+		"IncrPair(x1,y1)", "IncrPair(xb1,yb1)",
+		"Large(x1)", "Large(xb1)", "Large(x2)", "Large(xb2)", "Large(yb2)",
+	}
+	for _, tc := range cases {
+		cfg := tc.build(c)
+		if !c.IsHigh(cfg, tc.level) {
+			t.Fatalf("fixture is not %d-high: %v", tc.level, cfg.Format(c.Program.Registers))
+		}
+		for _, proc := range procedures {
+			// IncrPair is only j-robust for j ≤ i (Lemma 11c): skip the
+			// level-1 IncrPair on the 2-high fixture, where it legitimately
+			// perturbs level-1 registers.
+			if tc.level == 2 && (proc == "IncrPair(x1,y1)" || proc == "IncrPair(xb1,yb1)") {
+				continue
+			}
+			for seed := int64(0); seed < 40; seed++ {
+				oracle := popprog.NewRandomOracle(sched.NewRand(seed))
+				it, err := popprog.NewInterp(c.Program, oracle, cfg.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, _, err := it.RunProcedure(proc, 2_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch out {
+				case popprog.ProcReturned:
+					if !c.IsHigh(it.Regs, tc.level) {
+						t.Fatalf("%s seed %d destroyed %d-highness: %v → %v",
+							proc, seed, tc.level,
+							cfg.Format(c.Program.Registers),
+							it.Regs.Format(c.Program.Registers))
+					}
+				case popprog.ProcRestarted:
+					// Allowed by robustness (C, f → restart).
+				case popprog.ProcHung, popprog.ProcBudget:
+					t.Fatalf("%s seed %d on %d-high: outcome %v (robustness requires termination)",
+						proc, seed, tc.level, out)
+				}
+			}
+		}
+	}
+}
+
+func TestRobustnessLargeTerminatesViaReversibility(t *testing.T) {
+	// The deep clause of Lemma 12c: Large at level i on an (i−1)-high
+	// configuration terminates because IncrPair is reversible — the random
+	// walk can always retrace to its starting point and exit. Exercise
+	// Large(x2) on a 1-high configuration repeatedly.
+	c := mustNew(t, 2)
+	cfg := high1(c)
+	for seed := int64(0); seed < 120; seed++ {
+		oracle := popprog.NewRandomOracle(sched.NewRand(1000 + seed))
+		it, err := popprog.NewInterp(c.Program, oracle, cfg.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := it.RunProcedure("Large(x2)", 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == popprog.ProcHung || out == popprog.ProcBudget {
+			t.Fatalf("seed %d: Large(x2) did not terminate on a 1-high configuration (%v)",
+				seed, out)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1CrossoverFound(t *testing.T) {
+	tbl, err := Table1Crossover(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := ""
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[4], "crossover") {
+			found = row[0]
+			break
+		}
+	}
+	if found == "" {
+		t.Fatalf("no crossover up to n=18: %v", tbl.Rows)
+	}
+	t.Logf("crossover at n = %s", found)
+}

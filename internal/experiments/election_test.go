@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestElectionCostGrows(t *testing.T) {
+	tbl, err := Election([]int64{1, 16}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	small, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	large, _ := strconv.ParseFloat(tbl.Rows[1][1], 64)
+	if large <= small {
+		t.Fatalf("election cost did not grow with m: %v vs %v", small, large)
+	}
+}

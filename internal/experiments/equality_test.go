@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEqualityTableCorrectSweep(t *testing.T) {
+	tbl, err := Equality(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[3], "≠!") {
+			t.Fatalf("wrong equality decision: %v", row)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/multiset"
+	"repro/internal/popmachine"
+	"repro/internal/popprog"
+)
+
+// Figure1 regenerates the Figure 1 experiment (E2): the example population
+// program deciding 4 ≤ x < 7, decided for every total m both by the
+// program-level interpreter (statistical) and by exhaustive model checking
+// of the compiled machine over every initial placement (exact).
+func Figure1(maxTotal int64, exact bool) (*Table, error) {
+	t := &Table{
+		ID:      "E2 (Figure 1)",
+		Title:   "the example program decides 4 ≤ x < 7",
+		Columns: []string{"m", "φ(m)", "interpreter", "machine (exact, all placements)"},
+	}
+	prog := popprog.Figure1Program()
+	machine, err := compile.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	sys := popmachine.System{M: machine}
+	for m := int64(1); m <= maxTotal; m++ {
+		want := m >= 4 && m < 7
+		res, err := popprog.DecideTotal(prog, m, popprog.DecideOptions{
+			Seed: m, Budget: 400_000, TruthProb: 0.8, Attempts: 5,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 1, m=%d: %w", m, err)
+		}
+		exactCell := "(skipped)"
+		if exact {
+			ok := true
+			var states int
+			var checkErr error
+			multiset.Enumerate(len(machine.Registers), m, func(regs *multiset.Multiset) {
+				if checkErr != nil {
+					return
+				}
+				cfg, err := machine.InitialConfig(regs)
+				if err != nil {
+					checkErr = err
+					return
+				}
+				r, err := explore.Explore[*popmachine.Config](sys, []*popmachine.Config{cfg},
+					explore.Options{MaxStates: 3_000_000})
+				if err != nil {
+					checkErr = err
+					return
+				}
+				states += r.NumStates
+				if !r.StabilisesTo(want) {
+					ok = false
+				}
+			})
+			if checkErr != nil {
+				return nil, checkErr
+			}
+			exactCell = fmt.Sprintf("%v (%d states explored)", verdict(ok), states)
+		}
+		t.AddRow(m, fmtBool(want), fmtBool(res.Output), exactCell)
+	}
+	return t, nil
+}
+
+// Figure2 regenerates the configuration-classification table of Figure 2
+// (E3) on the n = 2 construction (N₁ = 1, N₂ = 4), level i = 2.
+func Figure2() (*Table, error) {
+	c, err := core.New(2)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E3 (Figure 2)",
+		Title:   "configuration types at level i = 2 (N₁ = 1, N₂ = 4)",
+		Columns: []string{"row", "x₂", "x̄₂", "y₂", "ȳ₂", "classes"},
+		Notes:   []string{"lower levels are proper (x̄₁ = ȳ₁ = 1) except for the i-empty row"},
+	}
+	type row struct {
+		name   string
+		l1, l2 [4]int64
+		r      int64
+	}
+	rows := []row{
+		{"i-proper", [4]int64{0, 1, 0, 1}, [4]int64{0, 4, 0, 4}, 0},
+		{"weakly i-proper", [4]int64{0, 1, 0, 1}, [4]int64{3, 1, 1, 3}, 0},
+		{"i-low", [4]int64{0, 1, 0, 1}, [4]int64{0, 1, 0, 4}, 0},
+		{"i-high", [4]int64{0, 1, 0, 1}, [4]int64{3, 4, 2, 3}, 0},
+		{"i-empty", [4]int64{2, 4, 3, 3}, [4]int64{0, 0, 0, 0}, 0},
+	}
+	for _, r := range rows {
+		cfg := multiset.New(c.NumRegisters())
+		cfg.Set(c.X(1), r.l1[0])
+		cfg.Set(c.XBar(1), r.l1[1])
+		cfg.Set(c.Y(1), r.l1[2])
+		cfg.Set(c.YBar(1), r.l1[3])
+		cfg.Set(c.X(2), r.l2[0])
+		cfg.Set(c.XBar(2), r.l2[1])
+		cfg.Set(c.Y(2), r.l2[2])
+		cfg.Set(c.YBar(2), r.l2[3])
+		cfg.Set(c.R(), r.r)
+		classes := c.Classify(cfg, 2)
+		names := make([]string, len(classes))
+		for i, cl := range classes {
+			names[i] = cl.String()
+		}
+		t.AddRow(r.name, r.l2[0], r.l2[1], r.l2[2], r.l2[3], fmt.Sprintf("%v", names))
+	}
+	return t, nil
+}
+
+func fmtBool(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "verified"
+	}
+	return "FAILED"
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"math/big"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// Inlining regenerates E15 (an ablation of §4's design choice): what the
+// construction would cost *without* procedures. The modular instruction
+// count is linear in n; the fully inlined count — each call site pasting
+// its callee's body — grows exponentially, because Large at level i expands
+// the whole tower below it several times. This is the quantified version
+// of the paper's remark that procedures exist for succinctness.
+func Inlining(maxN int) (*Table, error) {
+	t := &Table{
+		ID:    "E15 (inlining ablation)",
+		Title: "modular vs fully inlined instruction counts of the construction",
+		Columns: []string{
+			"n", "modular instructions", "inlined instructions", "blow-up ×",
+		},
+	}
+	for n := 1; n <= maxN; n++ {
+		c, err := core.New(n)
+		if err != nil {
+			return nil, err
+		}
+		inlined, err := analysis.InlinedInstructionCount(c.Program)
+		if err != nil {
+			return nil, err
+		}
+		modular := int64(c.Program.InstructionCount())
+		ratio := new(big.Float).Quo(
+			new(big.Float).SetInt64(inlined),
+			new(big.Float).SetInt64(modular))
+		t.AddRow(n, modular, inlined, ratio.Text('f', 1))
+	}
+	return t, nil
+}

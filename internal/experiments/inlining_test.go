@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestInliningBlowupExponential(t *testing.T) {
+	tbl, err := Inlining(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inlined []int64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable %q", row[2])
+		}
+		inlined = append(inlined, v)
+	}
+	// Exponential: each level should multiply the inlined count by > 1.5.
+	for i := 2; i < len(inlined); i++ {
+		if float64(inlined[i]) < 1.5*float64(inlined[i-1]) {
+			t.Fatalf("inlined counts not exponential: %v", inlined)
+		}
+	}
+	t.Logf("inlined instruction counts: %v", inlined)
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestProcedureProfileShape(t *testing.T) {
+	tbl, err := ProcedureProfile(2, 10, 1_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := make(map[string]int64)
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable call count %q", row[1])
+		}
+		calls[row[0]] = v
+	}
+	// Level-1 procedures must dominate level-2 ones: the level-2 machinery
+	// drives level-1 counters many times per own step.
+	if calls["Large(xb1)"] <= calls["Large(xb2)"] {
+		t.Fatalf("level-1 Large not dominant: %v", calls)
+	}
+	if calls["Zero(x1)"] == 0 {
+		t.Fatalf("Zero(x1) never called: %v", calls)
+	}
+}

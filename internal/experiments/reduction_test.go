@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestReductionTableShape(t *testing.T) {
+	tbl, err := Reduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		full, _ := strconv.Atoi(row[1])
+		reduced, _ := strconv.Atoi(row[2])
+		if reduced <= 0 || reduced > full {
+			t.Fatalf("bad reduction row %v", row)
+		}
+		if !strings.HasSuffix(row[3], "%") {
+			t.Fatalf("kept column %q", row[3])
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package explore implements exact verification of stable computation on
+// finite transition systems.
+//
+// The paper defines stable computation (§3) over an arbitrary left-total
+// relation →: a fair run stabilises to b if from some point on every
+// configuration has output b, and fairness means the set of configurations
+// visited infinitely often is closed under →. For a *finite* reachable
+// graph this admits a crisp characterisation:
+//
+//	Every fair run from C stabilises to b
+//	    ⟺  every bottom SCC reachable from C has all states with output b.
+//
+// (A fair run's infinitely-visited set is successor-closed, hence contains a
+// bottom SCC B; since B is bottom, no state outside B is reachable from B,
+// so the infinitely-visited set is exactly B; stabilisation to b therefore
+// requires — and is implied by — B being uniformly b.)
+//
+// This package explores the reachable graph of any System, computes its
+// bottom SCCs with Tarjan's algorithm, and reports the set of stabilisation
+// outcomes. It is what turns the paper's lemmas into machine-checked facts
+// on small instances: protocols are checked over multiset configuration
+// graphs, population machines over register-vector × pointer-valuation
+// graphs.
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// ErrStateLimit is returned when exploration exceeds the configured bound.
+var ErrStateLimit = errors.New("explore: state limit exceeded")
+
+// System is a finite-state transition system with consensus outputs.
+// Keys must uniquely identify states.
+type System[S any] interface {
+	// Key returns a unique identifier for the state.
+	Key(s S) string
+	// Successors returns the states reachable in one step. Self-loops may
+	// be included or omitted; they do not affect bottom-SCC analysis.
+	Successors(s S) []S
+	// Output returns the consensus output of the state.
+	Output(s S) protocol.Output
+}
+
+// Options configures exploration.
+type Options struct {
+	// MaxStates bounds the number of distinct states explored.
+	// Zero means the default of 2,000,000.
+	MaxStates int
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 2_000_000
+	}
+	return o.MaxStates
+}
+
+// Result reports the outcome of exploring from a set of initial states.
+type Result struct {
+	// NumStates is the number of distinct reachable states.
+	NumStates int
+	// NumBottomSCCs is the number of bottom SCCs of the reachable graph.
+	NumBottomSCCs int
+	// Outcomes lists, for each bottom SCC, its stabilisation value:
+	// OutputTrue/OutputFalse if all its states agree, OutputMixed if the
+	// SCC does not represent a stable consensus (a fair run trapped there
+	// never stabilises).
+	Outcomes []protocol.Output
+	// WitnessKeys holds, per bottom SCC, the key of one member state,
+	// for diagnostics.
+	WitnessKeys []string
+}
+
+// StabilisesTo reports whether every fair run from the initial states
+// stabilises to b: all bottom SCCs must have outcome b.
+func (r *Result) StabilisesTo(b bool) bool {
+	want := protocol.OutputFalse
+	if b {
+		want = protocol.OutputTrue
+	}
+	if len(r.Outcomes) == 0 {
+		return false
+	}
+	for _, o := range r.Outcomes {
+		if o != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Consensus returns the unique stabilisation value if all bottom SCCs agree
+// on OutputTrue or OutputFalse, and OutputMixed otherwise.
+func (r *Result) Consensus() protocol.Output {
+	if len(r.Outcomes) == 0 {
+		return protocol.OutputMixed
+	}
+	first := r.Outcomes[0]
+	if first == protocol.OutputMixed {
+		return protocol.OutputMixed
+	}
+	for _, o := range r.Outcomes[1:] {
+		if o != first {
+			return protocol.OutputMixed
+		}
+	}
+	return first
+}
+
+// Explore builds the reachable graph from the initial states and analyses
+// its bottom SCCs.
+func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
+	limit := opts.maxStates()
+
+	// Phase 1: BFS to discover all reachable states and record the edge
+	// lists over dense integer ids.
+	ids := make(map[string]int)
+	var states []S
+	var edges [][]int
+
+	intern := func(s S) (int, error) {
+		k := sys.Key(s)
+		if id, ok := ids[k]; ok {
+			return id, nil
+		}
+		if len(states) >= limit {
+			return 0, fmt.Errorf("%w (limit %d)", ErrStateLimit, limit)
+		}
+		id := len(states)
+		ids[k] = id
+		states = append(states, s)
+		edges = append(edges, nil)
+		return id, nil
+	}
+
+	queue := make([]int, 0, len(initial))
+	for _, s := range initial {
+		id, err := intern(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(edges[id]) == 0 { // not expanded yet (may repeat in initial)
+			queue = append(queue, id)
+		}
+	}
+	expanded := make(map[int]bool)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if expanded[id] {
+			continue
+		}
+		expanded[id] = true
+		for _, next := range sys.Successors(states[id]) {
+			nid, err := intern(next)
+			if err != nil {
+				return nil, err
+			}
+			edges[id] = append(edges[id], nid)
+			if !expanded[nid] {
+				queue = append(queue, nid)
+			}
+		}
+	}
+
+	// Phase 2: Tarjan's SCC algorithm (iterative, to survive deep graphs).
+	n := len(states)
+	comp := tarjanSCC(n, edges)
+	numComp := 0
+	for _, c := range comp {
+		if c+1 > numComp {
+			numComp = c + 1
+		}
+	}
+
+	// Phase 3: a component is bottom iff it has no edge to another
+	// component.
+	isBottom := make([]bool, numComp)
+	for i := range isBottom {
+		isBottom[i] = true
+	}
+	for u, outs := range edges {
+		for _, v := range outs {
+			if comp[u] != comp[v] {
+				isBottom[comp[u]] = false
+			}
+		}
+	}
+
+	// Phase 4: compute each bottom SCC's consensus outcome.
+	outcome := make([]protocol.Output, numComp)
+	haveOutcome := make([]bool, numComp)
+	witness := make([]string, numComp)
+	for u := range states {
+		c := comp[u]
+		if !isBottom[c] {
+			continue
+		}
+		o := sys.Output(states[u])
+		if !haveOutcome[c] {
+			outcome[c] = o
+			haveOutcome[c] = true
+			witness[c] = sys.Key(states[u])
+			continue
+		}
+		if outcome[c] != o {
+			outcome[c] = protocol.OutputMixed
+		}
+	}
+
+	res := &Result{NumStates: n}
+	for c := 0; c < numComp; c++ {
+		if !isBottom[c] {
+			continue
+		}
+		res.NumBottomSCCs++
+		res.Outcomes = append(res.Outcomes, outcome[c])
+		res.WitnessKeys = append(res.WitnessKeys, witness[c])
+	}
+	return res, nil
+}
+
+// tarjanSCC computes strongly connected components iteratively and returns
+// a component id per node. Components are numbered in reverse topological
+// order of discovery (ids are arbitrary for callers).
+func tarjanSCC(n int, edges [][]int) []int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	nextIndex := 0
+	numComp := 0
+
+	type frame struct {
+		node int
+		edge int
+	}
+	var callStack []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{node: root})
+		index[root] = nextIndex
+		low[root] = nextIndex
+		nextIndex++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			u := f.node
+			if f.edge < len(edges[u]) {
+				v := edges[u][f.edge]
+				f.edge++
+				if index[v] == unvisited {
+					index[v] = nextIndex
+					low[v] = nextIndex
+					nextIndex++
+					stack = append(stack, v)
+					onStack[v] = true
+					callStack = append(callStack, frame{node: v})
+				} else if onStack[v] {
+					if index[v] < low[u] {
+						low[u] = index[v]
+					}
+				}
+				continue
+			}
+			// Post-order: pop and propagate lowlink.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].node
+				if low[u] < low[parent] {
+					low[parent] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComp
+					if w == u {
+						break
+					}
+				}
+				numComp++
+			}
+		}
+	}
+	return comp
+}

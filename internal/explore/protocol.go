@@ -1,0 +1,164 @@
+package explore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+// ProtocolSystem adapts a population protocol's configuration graph to the
+// System interface: states are configurations (multisets over Q), the step
+// relation is single-transition firing, and outputs are consensus outputs.
+// Use NewProtocolSystem so successor queries go through a pair-indexed
+// stepper (O(support²) rather than O(|δ|) per state).
+type ProtocolSystem struct {
+	P       *protocol.Protocol
+	stepper *protocol.Stepper
+}
+
+var _ System[*multiset.Multiset] = ProtocolSystem{}
+
+// NewProtocolSystem builds an indexed adapter for p.
+func NewProtocolSystem(p *protocol.Protocol) ProtocolSystem {
+	return ProtocolSystem{P: p, stepper: protocol.NewStepper(p)}
+}
+
+// Key implements System.
+func (s ProtocolSystem) Key(c *multiset.Multiset) string { return c.Key() }
+
+// Successors implements System.
+func (s ProtocolSystem) Successors(c *multiset.Multiset) []*multiset.Multiset {
+	if s.stepper != nil {
+		return s.stepper.Successors(c)
+	}
+	return s.P.Successors(c)
+}
+
+// Output implements System.
+func (s ProtocolSystem) Output(c *multiset.Multiset) protocol.Output {
+	return s.P.OutputOf(c)
+}
+
+// CheckConfiguration verifies that every fair run of p from configuration c
+// stabilises to `want`. It returns the exploration result for diagnostics.
+func CheckConfiguration(p *protocol.Protocol, c *multiset.Multiset, want bool, opts Options) (*Result, error) {
+	res, err := Explore[*multiset.Multiset](NewProtocolSystem(p), []*multiset.Multiset{c.Clone()}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !res.StabilisesTo(want) {
+		return res, fmt.Errorf(
+			"protocol %q from %s: fair runs do not all stabilise to %v (bottom SCC outcomes %v, witnesses %q)",
+			p.Name, c.Format(p.States), want, res.Outcomes, res.WitnessKeys)
+	}
+	return res, nil
+}
+
+// CheckDecides verifies that p decides pred on every initial configuration
+// of every population size in [minAgents, maxAgents]. It is the exact
+// counterpart of the paper's "PP decides φ" (§3) restricted to a finite
+// range of sizes.
+func CheckDecides(p *protocol.Protocol, pred protocol.Predicate, minAgents, maxAgents int64, opts Options) error {
+	if minAgents < 1 {
+		return fmt.Errorf("explore: population size must be ≥ 1, got %d", minAgents)
+	}
+	sys := NewProtocolSystem(p)
+	for m := minAgents; m <= maxAgents; m++ {
+		var checkErr error
+		multiset.Enumerate(len(p.Input), m, func(inputCounts *multiset.Multiset) {
+			if checkErr != nil {
+				return
+			}
+			c, err := p.InitialConfig(inputCounts.Counts()...)
+			if err != nil {
+				checkErr = err
+				return
+			}
+			want := pred(p.InputCounts(c))
+			res, err := Explore[*multiset.Multiset](sys, []*multiset.Multiset{c}, opts)
+			if err != nil {
+				checkErr = fmt.Errorf("size %d: %w", m, err)
+				return
+			}
+			if !res.StabilisesTo(want) {
+				checkErr = fmt.Errorf(
+					"size %d: protocol %q from %s: fair runs do not all stabilise to %v (outcomes %v)",
+					m, p.Name, c.Format(p.States), want, res.Outcomes)
+			}
+		})
+		if checkErr != nil {
+			return checkErr
+		}
+	}
+	return nil
+}
+
+// CheckDecidesParallel is CheckDecides with the per-size checks fanned out
+// over `workers` goroutines. The protocol's stepper is shared read-only;
+// each worker explores its own sizes. The first failure wins; all workers
+// are always awaited before returning.
+func CheckDecidesParallel(p *protocol.Protocol, pred protocol.Predicate, minAgents, maxAgents int64, workers int, opts Options) error {
+	if minAgents < 1 {
+		return fmt.Errorf("explore: population size must be ≥ 1, got %d", minAgents)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sys := NewProtocolSystem(p)
+	sizes := make(chan int64)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range sizes {
+				var checkErr error
+				multiset.Enumerate(len(p.Input), m, func(inputCounts *multiset.Multiset) {
+					if checkErr != nil {
+						return
+					}
+					c, err := p.InitialConfig(inputCounts.Counts()...)
+					if err != nil {
+						checkErr = err
+						return
+					}
+					want := pred(p.InputCounts(c))
+					res, err := Explore[*multiset.Multiset](sys, []*multiset.Multiset{c}, opts)
+					if err != nil {
+						checkErr = fmt.Errorf("size %d: %w", m, err)
+						return
+					}
+					if !res.StabilisesTo(want) {
+						checkErr = fmt.Errorf(
+							"size %d: protocol %q from %s: fair runs do not all stabilise to %v (outcomes %v)",
+							m, p.Name, c.Format(p.States), want, res.Outcomes)
+					}
+				})
+				if checkErr != nil {
+					errs <- checkErr
+					return
+				}
+			}
+		}()
+	}
+	for m := minAgents; m <= maxAgents; m++ {
+		select {
+		case err := <-errs:
+			close(sizes)
+			wg.Wait()
+			return err
+		case sizes <- m:
+		}
+	}
+	close(sizes)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

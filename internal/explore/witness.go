@@ -1,0 +1,84 @@
+package explore
+
+import (
+	"fmt"
+)
+
+// Witness finds a shortest path (BFS) from one of the initial states to a
+// state satisfying `goal`, up to the state limit. It returns the states
+// along the path, including both endpoints, or an error if no such state is
+// reachable. It is the counterexample extractor: when a verification fails
+// (a bottom SCC with the wrong output exists), Witness produces a concrete
+// execution leading into trouble, which is vastly more useful for debugging
+// a protocol than the bare verdict.
+func Witness[S any](sys System[S], initial []S, goal func(S) bool, opts Options) ([]S, error) {
+	limit := opts.maxStates()
+	ids := make(map[string]int)
+	var states []S
+	parent := make(map[int]int)
+
+	intern := func(s S) (int, bool, error) {
+		k := sys.Key(s)
+		if id, ok := ids[k]; ok {
+			return id, false, nil
+		}
+		if len(states) >= limit {
+			return 0, false, fmt.Errorf("%w (limit %d)", ErrStateLimit, limit)
+		}
+		id := len(states)
+		ids[k] = id
+		states = append(states, s)
+		return id, true, nil
+	}
+
+	buildPath := func(id int) []S {
+		var rev []int
+		for cur := id; ; {
+			rev = append(rev, cur)
+			p, ok := parent[cur]
+			if !ok {
+				break
+			}
+			cur = p
+		}
+		path := make([]S, len(rev))
+		for i := range rev {
+			path[i] = states[rev[len(rev)-1-i]]
+		}
+		return path
+	}
+
+	var queue []int
+	for _, s := range initial {
+		id, fresh, err := intern(s)
+		if err != nil {
+			return nil, err
+		}
+		if !fresh {
+			continue
+		}
+		if goal(s) {
+			return buildPath(id), nil
+		}
+		queue = append(queue, id)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, next := range sys.Successors(states[id]) {
+			nid, fresh, err := intern(next)
+			if err != nil {
+				return nil, err
+			}
+			if !fresh {
+				continue
+			}
+			parent[nid] = id
+			if goal(next) {
+				return buildPath(nid), nil
+			}
+			queue = append(queue, nid)
+		}
+	}
+	return nil, fmt.Errorf("explore: no reachable state satisfies the goal (%d states searched)", len(states))
+}

@@ -1,0 +1,108 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+func TestWitnessShortestPath(t *testing.T) {
+	// Chain with a shortcut: 0 → 1 → 2 → 3 and 0 → 3. BFS must find the
+	// 2-state path.
+	g := graphSystem{
+		succ: map[int][]int{0: {1, 3}, 1: {2}, 2: {3}, 3: {3}},
+		out:  map[int]protocol.Output{},
+	}
+	path, err := Witness[int](g, []int{0}, func(s int) bool { return s == 3 }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[0] != 0 || path[1] != 3 {
+		t.Fatalf("path = %v, want [0 3]", path)
+	}
+}
+
+func TestWitnessGoalAtInitial(t *testing.T) {
+	g := graphSystem{succ: map[int][]int{0: {0}}}
+	path, err := Witness[int](g, []int{0}, func(s int) bool { return s == 0 }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestWitnessUnreachable(t *testing.T) {
+	g := graphSystem{succ: map[int][]int{0: {0}}}
+	if _, err := Witness[int](g, []int{0}, func(s int) bool { return s == 9 }, Options{}); err == nil {
+		t.Fatal("found a path to an unreachable state")
+	}
+}
+
+func TestWitnessStateLimit(t *testing.T) {
+	g := chainSystem{}
+	_, err := Witness[int](g, []int{0}, func(s int) bool { return s == 1000 }, Options{MaxStates: 10})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWitnessOnBrokenProtocol(t *testing.T) {
+	// The "broken majority" (missing Y,x ↦ Y,y) gets *stuck mixed* from
+	// Y-majority inputs: all X agents cancel, the surviving strong Y can
+	// convert nobody, and the weak x agents keep accepting. Extract the
+	// concrete execution into the stuck configuration — the witness for
+	// "this protocol never stabilises".
+	b := protocol.NewBuilder("broken")
+	b.Input("X", "Y")
+	b.Transition("X", "Y", "x", "x")
+	b.Transition("X", "y", "X", "x")
+	b.Accepting("X", "x")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.InitialConfig(2, 3) // Y wins: correct answer is false
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewProtocolSystem(p)
+	stepper := protocol.NewStepper(p)
+	path, err := Witness[*multiset.Multiset](sys, []*multiset.Multiset{c},
+		func(cfg *multiset.Multiset) bool {
+			return p.OutputOf(cfg) == protocol.OutputMixed &&
+				len(stepper.Successors(cfg)) == 0
+		}, Options{})
+	if err != nil {
+		t.Fatalf("no counterexample found: %v", err)
+	}
+	if len(path) < 2 {
+		t.Fatalf("degenerate path %v", path)
+	}
+	if !path[0].Equal(c) {
+		t.Fatal("path does not start at the initial configuration")
+	}
+	final := path[len(path)-1]
+	if p.OutputOf(final) != protocol.OutputMixed {
+		t.Fatal("path does not end in a mixed configuration")
+	}
+	if final.Count(p.StateIndex("Y")) == 0 {
+		t.Fatalf("expected a surviving strong Y in %v", final.Format(p.States))
+	}
+	// Consecutive path elements are single-transition steps.
+	for i := 1; i < len(path); i++ {
+		ok := false
+		for _, succ := range stepper.Successors(path[i-1]) {
+			if succ.Equal(path[i]) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("path step %d is not a valid transition", i)
+		}
+	}
+}

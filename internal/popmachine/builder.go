@@ -1,0 +1,104 @@
+package popmachine
+
+import (
+	"fmt"
+)
+
+// Builder assembles a Machine: it creates the mandatory pointers (OF, CF,
+// IP, V_x for every register, V_□), lets the caller add procedure-return
+// pointers and emit instructions, and finalises the IP domain once the
+// instruction count is known.
+type Builder struct {
+	m *Machine
+}
+
+// NewBuilder starts a machine with the given registers. Pointer layout:
+// OF, CF, IP, V_□, then one V_x per register, then caller-added pointers.
+func NewBuilder(name string, registers []string) *Builder {
+	m := &Machine{Name: name, Registers: append([]string(nil), registers...)}
+	add := func(p *Pointer) int {
+		m.Pointers = append(m.Pointers, p)
+		return len(m.Pointers) - 1
+	}
+	m.OF = add(&Pointer{Name: "OF", Domain: []int{ValFalse, ValTrue}, Initial: ValFalse})
+	m.CF = add(&Pointer{Name: "CF", Domain: []int{ValFalse, ValTrue}, Initial: ValFalse})
+	m.IP = add(&Pointer{Name: "IP", Initial: 1}) // domain set in Finish
+	m.VBox = add(&Pointer{Name: "V_□", Domain: []int{0}, Initial: 0})
+	m.VReg = make([]int, len(registers))
+	for r, regName := range registers {
+		m.VReg[r] = add(&Pointer{
+			Name:    "V_" + regName,
+			Domain:  []int{r},
+			Initial: r,
+		})
+	}
+	return &Builder{m: m}
+}
+
+// Machine returns the machine under construction (for the Jump/CondJump/
+// ConstAssign helpers, which need pointer indices).
+func (b *Builder) Machine() *Machine { return b.m }
+
+// AddPointer appends a pointer (e.g. a procedure-return pointer) and
+// returns its index.
+func (b *Builder) AddPointer(name string, domain []int, initial int) int {
+	b.m.Pointers = append(b.m.Pointers, &Pointer{
+		Name:    name,
+		Domain:  append([]int(nil), domain...),
+		Initial: initial,
+	})
+	return len(b.m.Pointers) - 1
+}
+
+// SetVDomain widens the register-map domain of register r (it always
+// retains r itself). Used by the compiler for swap-connected registers.
+func (b *Builder) SetVDomain(r int, domain []int) {
+	p := b.m.Pointers[b.m.VReg[r]]
+	seen := map[int]bool{r: true}
+	out := []int{r}
+	for _, v := range domain {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	p.Domain = out
+}
+
+// SetVBoxDomain sets the scratch pointer's domain.
+func (b *Builder) SetVBoxDomain(domain []int) {
+	b.m.Pointers[b.m.VBox].Domain = append([]int(nil), domain...)
+	b.m.Pointers[b.m.VBox].Initial = domain[0]
+}
+
+// Emit appends an instruction and returns its 1-based index.
+func (b *Builder) Emit(in Instr) int {
+	b.m.Instrs = append(b.m.Instrs, in)
+	return len(b.m.Instrs)
+}
+
+// Next returns the 1-based index the next emitted instruction will get.
+func (b *Builder) Next() int { return len(b.m.Instrs) + 1 }
+
+// Patch replaces the instruction at 1-based index idx (for backpatching
+// forward jumps).
+func (b *Builder) Patch(idx int, in Instr) {
+	b.m.Instrs[idx-1] = in
+}
+
+// Finish sets the IP domain to 1..L and validates the machine.
+func (b *Builder) Finish() (*Machine, error) {
+	l := len(b.m.Instrs)
+	if l == 0 {
+		return nil, fmt.Errorf("popmachine %q: no instructions emitted", b.m.Name)
+	}
+	dom := make([]int, l)
+	for i := range dom {
+		dom[i] = i + 1
+	}
+	b.m.Pointers[b.m.IP].Domain = dom
+	if err := b.m.Validate(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}

@@ -1,0 +1,28 @@
+package popmachine
+
+import (
+	"repro/internal/protocol"
+)
+
+// System adapts a population machine to the exact model checker
+// (explore.System): states are machine configurations, the step relation is
+// Definition 13, and the output of a configuration is its OF value. A
+// configuration with no successor (hang) becomes a terminal bottom SCC,
+// matching the paper's reflexive completion C → C.
+type System struct {
+	M *Machine
+}
+
+// Key implements explore.System.
+func (s System) Key(c *Config) string { return c.Key() }
+
+// Successors implements explore.System.
+func (s System) Successors(c *Config) []*Config { return s.M.Successors(c) }
+
+// Output implements explore.System.
+func (s System) Output(c *Config) protocol.Output {
+	if s.M.Output(c) {
+		return protocol.OutputTrue
+	}
+	return protocol.OutputFalse
+}

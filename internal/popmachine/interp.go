@@ -1,0 +1,206 @@
+package popmachine
+
+import (
+	"fmt"
+
+	"repro/internal/multiset"
+)
+
+// Config is a population machine configuration: register values plus a
+// value for every pointer (Definition 13).
+type Config struct {
+	Regs     *multiset.Multiset
+	Pointers []int
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	return &Config{
+		Regs:     c.Regs.Clone(),
+		Pointers: append([]int(nil), c.Pointers...),
+	}
+}
+
+// Key returns a unique string for the configuration (for model checking).
+func (c *Config) Key() string {
+	buf := make([]byte, 0, len(c.Pointers)*2)
+	for _, v := range c.Pointers {
+		buf = append(buf, byte(v), byte(v>>8))
+	}
+	return string(buf) + "|" + c.Regs.Key()
+}
+
+// InitialConfig returns the configuration with all pointers at their
+// initial values (IP = 1, V_x = x, per Definition 13) and the given
+// register contents (copied).
+func (m *Machine) InitialConfig(regs *multiset.Multiset) (*Config, error) {
+	if regs.Len() != len(m.Registers) {
+		return nil, fmt.Errorf("popmachine %q: got %d register values, want %d",
+			m.Name, regs.Len(), len(m.Registers))
+	}
+	ptrs := make([]int, len(m.Pointers))
+	for i, p := range m.Pointers {
+		ptrs[i] = p.Initial
+	}
+	return &Config{Regs: regs.Clone(), Pointers: ptrs}, nil
+}
+
+// Output returns the configuration's output C(OF).
+func (m *Machine) Output(c *Config) bool { return c.Pointers[m.OF] == ValTrue }
+
+// Successors returns every configuration reachable in one step per
+// Definition 13. A hung configuration (move from an empty register, or IP
+// stepping past L) has no successors other than itself; Successors returns
+// an empty slice in that case, and callers treat it as a self-loop.
+func (m *Machine) Successors(c *Config) []*Config {
+	ip := c.Pointers[m.IP]
+	in := m.Instrs[ip-1]
+	switch it := in.(type) {
+	case MoveInstr:
+		if ip+1 > len(m.Instrs) || !m.Pointers[m.IP].HasValue(ip+1) {
+			return nil // IP would leave its domain: hang
+		}
+		src := c.Pointers[m.VReg[it.X]]
+		dst := c.Pointers[m.VReg[it.Y]]
+		if c.Regs.Count(src) == 0 {
+			return nil // hang
+		}
+		next := c.Clone()
+		next.Regs.Move(src, dst)
+		next.Pointers[m.IP] = ip + 1
+		return []*Config{next}
+	case DetectInstr:
+		if ip+1 > len(m.Instrs) || !m.Pointers[m.IP].HasValue(ip+1) {
+			return nil
+		}
+		reg := c.Pointers[m.VReg[it.X]]
+		falseCase := c.Clone()
+		falseCase.Pointers[m.IP] = ip + 1
+		falseCase.Pointers[m.CF] = ValFalse
+		out := []*Config{falseCase}
+		if c.Regs.Count(reg) > 0 {
+			trueCase := c.Clone()
+			trueCase.Pointers[m.IP] = ip + 1
+			trueCase.Pointers[m.CF] = ValTrue
+			out = append(out, trueCase)
+		}
+		return out
+	case AssignInstr:
+		v := it.F[c.Pointers[it.Y]]
+		next := c.Clone()
+		if it.X == m.IP {
+			next.Pointers[m.IP] = v
+			return []*Config{next}
+		}
+		if ip+1 > len(m.Instrs) || !m.Pointers[m.IP].HasValue(ip+1) {
+			return nil
+		}
+		next.Pointers[it.X] = v
+		next.Pointers[m.IP] = ip + 1
+		return []*Config{next}
+	default:
+		panic(fmt.Sprintf("popmachine: unknown instruction %T", in))
+	}
+}
+
+// DetectOracle resolves the nondeterminism of detect instructions during
+// interpretation. popprog.RandomOracle satisfies this interface.
+type DetectOracle interface {
+	Detect(reg int, nonzero bool) bool
+}
+
+// StepStatus reports the result of one interpreted step.
+type StepStatus int
+
+// Step statuses.
+const (
+	// StepOK: the configuration advanced.
+	StepOK StepStatus = iota + 1
+	// StepHang: no successor exists; the machine loops on this
+	// configuration forever.
+	StepHang
+)
+
+// Step executes one instruction in place, using the oracle to resolve
+// detect outcomes.
+func (m *Machine) Step(c *Config, oracle DetectOracle) StepStatus {
+	ip := c.Pointers[m.IP]
+	in := m.Instrs[ip-1]
+	switch it := in.(type) {
+	case MoveInstr:
+		src := c.Pointers[m.VReg[it.X]]
+		dst := c.Pointers[m.VReg[it.Y]]
+		if c.Regs.Count(src) == 0 || !advanceable(m, ip) {
+			return StepHang
+		}
+		c.Regs.Move(src, dst)
+		c.Pointers[m.IP] = ip + 1
+		return StepOK
+	case DetectInstr:
+		reg := c.Pointers[m.VReg[it.X]]
+		if !advanceable(m, ip) {
+			return StepHang
+		}
+		nonzero := c.Regs.Count(reg) > 0
+		if oracle.Detect(reg, nonzero) {
+			c.Pointers[m.CF] = ValTrue
+		} else {
+			c.Pointers[m.CF] = ValFalse
+		}
+		c.Pointers[m.IP] = ip + 1
+		return StepOK
+	case AssignInstr:
+		v := it.F[c.Pointers[it.Y]]
+		if it.X == m.IP {
+			c.Pointers[m.IP] = v
+			return StepOK
+		}
+		if !advanceable(m, ip) {
+			return StepHang
+		}
+		c.Pointers[it.X] = v
+		c.Pointers[m.IP] = ip + 1
+		return StepOK
+	default:
+		panic(fmt.Sprintf("popmachine: unknown instruction %T", in))
+	}
+}
+
+func advanceable(m *Machine, ip int) bool {
+	return ip+1 <= len(m.Instrs) && m.Pointers[m.IP].HasValue(ip+1)
+}
+
+// RunResult summarises a bounded interpreted run.
+type RunResult struct {
+	// Steps executed.
+	Steps int64
+	// Hung reports whether the machine reached a configuration with no
+	// successor (its output is then frozen).
+	Hung bool
+	// Output is C(OF) at the end of the run.
+	Output bool
+	// QuietSteps is the number of steps since OF last changed.
+	QuietSteps int64
+}
+
+// Run interprets the machine from config c (mutated in place) for at most
+// budget steps.
+func (m *Machine) Run(c *Config, oracle DetectOracle, budget int64) *RunResult {
+	res := &RunResult{}
+	lastOF := c.Pointers[m.OF]
+	var lastChange int64
+	for res.Steps < budget {
+		if m.Step(c, oracle) == StepHang {
+			res.Hung = true
+			break
+		}
+		res.Steps++
+		if of := c.Pointers[m.OF]; of != lastOF {
+			lastOF = of
+			lastChange = res.Steps
+		}
+	}
+	res.Output = lastOF == ValTrue
+	res.QuietSteps = res.Steps - lastChange
+	return res
+}

@@ -1,0 +1,83 @@
+package popmachine
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/sched"
+)
+
+// Property: machine steps conserve the register total and keep every
+// pointer inside its domain, from any initial register placement, under a
+// random oracle.
+func TestQuickStepInvariants(t *testing.T) {
+	m := figure3Machine(t)
+	rng := sched.NewRand(77)
+	oracle := randomDetect{rng: rng}
+	for trial := 0; trial < 200; trial++ {
+		counts := make([]int64, len(m.Registers))
+		for i := range counts {
+			counts[i] = int64(rng.Intn(5))
+		}
+		regs := multiset.FromCounts(counts)
+		total := regs.Size()
+		cfg, err := m.InitialConfig(regs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 100; step++ {
+			if m.Step(cfg, oracle) == StepHang {
+				break
+			}
+			if cfg.Regs.Size() != total {
+				t.Fatalf("trial %d: register total changed %d → %d",
+					trial, total, cfg.Regs.Size())
+			}
+			for pi, p := range m.Pointers {
+				if !p.HasValue(cfg.Pointers[pi]) {
+					t.Fatalf("trial %d: pointer %s left its domain: %d",
+						trial, p.Name, cfg.Pointers[pi])
+				}
+			}
+		}
+	}
+}
+
+type randomDetect struct{ rng interface{ Intn(int) int } }
+
+func (r randomDetect) Detect(_ int, nonzero bool) bool {
+	return nonzero && r.rng.Intn(2) == 0
+}
+
+// Property: Successors and Step agree — every Step outcome is among the
+// Successors of the pre-state.
+func TestQuickStepWithinSuccessors(t *testing.T) {
+	m := figure3Machine(t)
+	rng := sched.NewRand(99)
+	oracle := randomDetect{rng: rng}
+	cfg, err := m.InitialConfig(multiset.FromCounts([]int64{2, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 300; step++ {
+		succ := m.Successors(cfg)
+		before := cfg.Clone()
+		if m.Step(cfg, oracle) == StepHang {
+			if len(succ) != 0 {
+				t.Fatalf("step %d: Step hung but Successors offered %d options", step, len(succ))
+			}
+			break
+		}
+		found := false
+		for _, s := range succ {
+			if s.Key() == cfg.Key() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("step %d: Step produced a configuration outside Successors\nfrom %s\nto   %s",
+				step, before.Key(), cfg.Key())
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package popprog implements population programs, the structured-program
+// model for specifying population protocols introduced in §4 of the paper.
+//
+// A population program 𝒫 = (Q, Proc) has registers with values in ℕ and a
+// list of procedures built from while-loops, if-statements and three
+// primitives: the move instruction (x ↦ y), the nondeterministic
+// nonzero-check (detect x > 0), and swap. Procedures may return booleans
+// and must form an acyclic call graph. There is an output flag OF, and a
+// restart instruction that nondeterministically re-initialises the
+// registers while preserving their sum.
+//
+// The package provides the AST, structural validation (including call-graph
+// acyclicity), the size measure |Q| + L + S with the swap-size S of §4, a
+// for-loop macro expander, and a nondeterministic interpreter whose choices
+// are delegated to an Oracle (see interp.go).
+package popprog
+
+import (
+	"fmt"
+)
+
+// Program is a population program 𝒫 = (Q, Proc).
+type Program struct {
+	// Name identifies the program in diagnostics.
+	Name string
+	// Registers holds the register names; registers are referenced by
+	// index throughout the AST.
+	Registers []string
+	// Procedures holds the procedures. Execution starts at the procedure
+	// named "Main".
+	Procedures []*Procedure
+}
+
+// Procedure is a named procedure. Parameterised procedures of the paper
+// (e.g. AssertEmpty(i)) are represented as one Procedure per parameter
+// value, exactly as §4 prescribes ("we may have parameterised copies").
+type Procedure struct {
+	Name string
+	// Returns reports whether the procedure returns a boolean (and may
+	// therefore be used in conditions).
+	Returns bool
+	Body    []Stmt
+}
+
+// Stmt is a population program statement.
+type Stmt interface{ stmt() }
+
+// Cond is a condition of a while- or if-statement.
+type Cond interface{ cond() }
+
+// Move is the instruction (x ↦ y): decrement From, increment To. If From
+// is zero the program hangs (§4).
+type Move struct{ From, To int }
+
+// Swap exchanges the values of registers A and B.
+type Swap struct{ A, B int }
+
+// SetOF assigns the output flag.
+type SetOF struct{ Value bool }
+
+// Restart restarts the computation from a nondeterministically chosen
+// initial configuration with the same register sum.
+type Restart struct{}
+
+// Return returns from the current procedure. HasValue distinguishes
+// `return` from `return b`; Value is meaningful only if HasValue.
+type Return struct {
+	HasValue bool
+	Value    bool
+}
+
+// Call invokes a procedure and discards any return value.
+type Call struct{ Proc int }
+
+// If is a two-armed conditional; Else may be empty.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while the condition holds. `while true` is While{Cond: True{}}.
+type While struct {
+	Cond Cond
+	Body []Stmt
+}
+
+func (Move) stmt()    {}
+func (Swap) stmt()    {}
+func (SetOF) stmt()   {}
+func (Restart) stmt() {}
+func (Return) stmt()  {}
+func (Call) stmt()    {}
+func (If) stmt()      {}
+func (While) stmt()   {}
+
+// Detect is the nondeterministic nonzero-check (detect x > 0). It may
+// return false regardless of the register value; it returns true only if
+// the register is nonzero.
+type Detect struct{ Reg int }
+
+// CallCond uses a boolean-returning procedure call as a condition.
+type CallCond struct{ Proc int }
+
+// Not negates a condition.
+type Not struct{ C Cond }
+
+// And is short-circuit conjunction.
+type And struct{ L, R Cond }
+
+// Or is short-circuit disjunction.
+type Or struct{ L, R Cond }
+
+// True is the constant true condition (for `while true`).
+type True struct{}
+
+func (Detect) cond()   {}
+func (CallCond) cond() {}
+func (Not) cond()      {}
+func (And) cond()      {}
+func (Or) cond()       {}
+func (True) cond()     {}
+
+// Repeat expands a for-loop macro: it concatenates mk(0), …, mk(n-1).
+// For-loops in population programs "are just a macro and expand into
+// multiple copies of their body" (§4).
+func Repeat(n int, mk func(i int) []Stmt) []Stmt {
+	var out []Stmt
+	for i := 0; i < n; i++ {
+		out = append(out, mk(i)...)
+	}
+	return out
+}
+
+// ProcIndex returns the index of the named procedure, or -1.
+func (p *Program) ProcIndex(name string) int {
+	for i, proc := range p.Procedures {
+		if proc.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RegIndex returns the index of the named register, or -1.
+func (p *Program) RegIndex(name string) int {
+	for i, r := range p.Registers {
+		if r == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural well-formedness: Main exists, register and
+// procedure references are in range, conditions call only boolean
+// procedures, value-returns appear only in boolean procedures, and the call
+// graph is acyclic (§4: "Procedure calls must be acyclic").
+func (p *Program) Validate() error {
+	if len(p.Registers) == 0 {
+		return fmt.Errorf("popprog %q: no registers", p.Name)
+	}
+	seen := make(map[string]bool)
+	for _, r := range p.Registers {
+		if r == "" {
+			return fmt.Errorf("popprog %q: empty register name", p.Name)
+		}
+		if seen[r] {
+			return fmt.Errorf("popprog %q: duplicate register %q", p.Name, r)
+		}
+		seen[r] = true
+	}
+	mainIdx := p.ProcIndex("Main")
+	if mainIdx < 0 {
+		return fmt.Errorf("popprog %q: no Main procedure", p.Name)
+	}
+	if p.Procedures[mainIdx].Returns {
+		return fmt.Errorf("popprog %q: Main must not return a value", p.Name)
+	}
+	procNames := make(map[string]bool)
+	for _, proc := range p.Procedures {
+		if procNames[proc.Name] {
+			return fmt.Errorf("popprog %q: duplicate procedure %q", p.Name, proc.Name)
+		}
+		procNames[proc.Name] = true
+	}
+
+	// Per-procedure structural checks, collecting call edges.
+	callees := make([][]int, len(p.Procedures))
+	for pi, proc := range p.Procedures {
+		if err := p.validateStmts(proc, proc.Body, &callees[pi]); err != nil {
+			return fmt.Errorf("popprog %q: procedure %q: %w", p.Name, proc.Name, err)
+		}
+	}
+
+	// Acyclicity of the call graph via DFS colouring.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]int, len(p.Procedures))
+	var visit func(int) error
+	visit = func(u int) error {
+		colour[u] = grey
+		for _, v := range callees[u] {
+			switch colour[v] {
+			case grey:
+				return fmt.Errorf("popprog %q: recursive call involving %q and %q",
+					p.Name, p.Procedures[u].Name, p.Procedures[v].Name)
+			case white:
+				if err := visit(v); err != nil {
+					return err
+				}
+			}
+		}
+		colour[u] = black
+		return nil
+	}
+	for u := range p.Procedures {
+		if colour[u] == white {
+			if err := visit(u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateStmts(proc *Procedure, stmts []Stmt, calls *[]int) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Move:
+			if err := p.checkReg(st.From); err != nil {
+				return err
+			}
+			if err := p.checkReg(st.To); err != nil {
+				return err
+			}
+			if st.From == st.To {
+				return fmt.Errorf("move with identical source and target register %d", st.From)
+			}
+		case Swap:
+			if err := p.checkReg(st.A); err != nil {
+				return err
+			}
+			if err := p.checkReg(st.B); err != nil {
+				return err
+			}
+		case SetOF, Restart:
+			// Always valid.
+		case Return:
+			if st.HasValue && !proc.Returns {
+				return fmt.Errorf("value return in non-returning procedure")
+			}
+			if !st.HasValue && proc.Returns {
+				return fmt.Errorf("bare return in boolean procedure")
+			}
+		case Call:
+			if err := p.checkProc(st.Proc); err != nil {
+				return err
+			}
+			*calls = append(*calls, st.Proc)
+		case If:
+			if err := p.validateCond(st.Cond, calls); err != nil {
+				return err
+			}
+			if err := p.validateStmts(proc, st.Then, calls); err != nil {
+				return err
+			}
+			if err := p.validateStmts(proc, st.Else, calls); err != nil {
+				return err
+			}
+		case While:
+			if err := p.validateCond(st.Cond, calls); err != nil {
+				return err
+			}
+			if err := p.validateStmts(proc, st.Body, calls); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateCond(c Cond, calls *[]int) error {
+	switch cd := c.(type) {
+	case Detect:
+		return p.checkReg(cd.Reg)
+	case CallCond:
+		if err := p.checkProc(cd.Proc); err != nil {
+			return err
+		}
+		if !p.Procedures[cd.Proc].Returns {
+			return fmt.Errorf("condition calls non-returning procedure %q", p.Procedures[cd.Proc].Name)
+		}
+		*calls = append(*calls, cd.Proc)
+		return nil
+	case Not:
+		return p.validateCond(cd.C, calls)
+	case And:
+		if err := p.validateCond(cd.L, calls); err != nil {
+			return err
+		}
+		return p.validateCond(cd.R, calls)
+	case Or:
+		if err := p.validateCond(cd.L, calls); err != nil {
+			return err
+		}
+		return p.validateCond(cd.R, calls)
+	case True:
+		return nil
+	default:
+		return fmt.Errorf("unknown condition type %T", c)
+	}
+}
+
+func (p *Program) checkReg(i int) error {
+	if i < 0 || i >= len(p.Registers) {
+		return fmt.Errorf("register index %d out of range", i)
+	}
+	return nil
+}
+
+func (p *Program) checkProc(i int) error {
+	if i < 0 || i >= len(p.Procedures) {
+		return fmt.Errorf("procedure index %d out of range", i)
+	}
+	return nil
+}

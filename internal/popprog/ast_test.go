@@ -1,0 +1,229 @@
+package popprog
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyProgram returns a minimal valid program:
+//
+//	Main: while detect x > 0 { x ↦ y }; while true {}
+func tinyProgram() *Program {
+	return &Program{
+		Name:      "tiny",
+		Registers: []string{"x", "y"},
+		Procedures: []*Procedure{{
+			Name: "Main",
+			Body: []Stmt{
+				While{Cond: Detect{Reg: 0}, Body: []Stmt{Move{From: 0, To: 1}}},
+				While{Cond: True{}},
+			},
+		}},
+	}
+}
+
+func TestValidateAcceptsTiny(t *testing.T) {
+	if err := tinyProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateFigure1(t *testing.T) {
+	if err := Figure1Program().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Program)
+		wantSub string
+	}{
+		{"no registers", func(p *Program) { p.Registers = nil }, "no registers"},
+		{"duplicate register", func(p *Program) { p.Registers = []string{"x", "x"} }, "duplicate register"},
+		{"empty register name", func(p *Program) { p.Registers = []string{"x", ""} }, "empty register"},
+		{"no main", func(p *Program) { p.Procedures[0].Name = "NotMain" }, "no Main"},
+		{"main returns", func(p *Program) { p.Procedures[0].Returns = true }, "Main must not return"},
+		{"bad move register", func(p *Program) {
+			p.Procedures[0].Body = []Stmt{Move{From: 0, To: 9}}
+		}, "out of range"},
+		{"self move", func(p *Program) {
+			p.Procedures[0].Body = []Stmt{Move{From: 0, To: 0}}
+		}, "identical source and target"},
+		{"bad swap register", func(p *Program) {
+			p.Procedures[0].Body = []Stmt{Swap{A: -1, B: 0}}
+		}, "out of range"},
+		{"bad detect register", func(p *Program) {
+			p.Procedures[0].Body = []Stmt{If{Cond: Detect{Reg: 5}}}
+		}, "out of range"},
+		{"bad call target", func(p *Program) {
+			p.Procedures[0].Body = []Stmt{Call{Proc: 7}}
+		}, "out of range"},
+		{"value return in plain procedure", func(p *Program) {
+			p.Procedures[0].Body = []Stmt{Return{HasValue: true, Value: true}}
+		}, "value return"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tinyProgram()
+			tc.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an ill-formed program")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsRecursion(t *testing.T) {
+	p := tinyProgram()
+	p.Procedures = append(p.Procedures,
+		&Procedure{Name: "A", Body: []Stmt{Call{Proc: 2}}},
+		&Procedure{Name: "B", Body: []Stmt{Call{Proc: 1}}},
+	)
+	p.Procedures[0].Body = []Stmt{Call{Proc: 1}}
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("Validate missed mutual recursion: %v", err)
+	}
+}
+
+func TestValidateRejectsSelfRecursion(t *testing.T) {
+	p := tinyProgram()
+	p.Procedures = append(p.Procedures,
+		&Procedure{Name: "A", Body: []Stmt{Call{Proc: 1}}},
+	)
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("Validate missed self recursion: %v", err)
+	}
+}
+
+func TestValidateRejectsConditionOnNonBoolean(t *testing.T) {
+	p := tinyProgram()
+	p.Procedures = append(p.Procedures, &Procedure{Name: "Plain"})
+	p.Procedures[0].Body = []Stmt{If{Cond: CallCond{Proc: 1}}}
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "non-returning") {
+		t.Fatalf("Validate missed a condition calling a plain procedure: %v", err)
+	}
+}
+
+func TestValidateRejectsBareReturnInBooleanProc(t *testing.T) {
+	p := tinyProgram()
+	p.Procedures = append(p.Procedures, &Procedure{
+		Name: "B", Returns: true, Body: []Stmt{Return{}},
+	})
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "bare return") {
+		t.Fatalf("Validate missed a bare return: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateProcedures(t *testing.T) {
+	p := tinyProgram()
+	p.Procedures = append(p.Procedures, &Procedure{Name: "Main"})
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate procedure") {
+		t.Fatalf("Validate missed duplicate procedures: %v", err)
+	}
+}
+
+func TestProcAndRegIndex(t *testing.T) {
+	p := Figure1Program()
+	if p.ProcIndex("Clean") != 3 || p.ProcIndex("nope") != -1 {
+		t.Fatal("ProcIndex wrong")
+	}
+	if p.RegIndex("z") != 2 || p.RegIndex("w") != -1 {
+		t.Fatal("RegIndex wrong")
+	}
+}
+
+func TestRepeatMacro(t *testing.T) {
+	stmts := Repeat(3, func(i int) []Stmt {
+		return []Stmt{Move{From: i, To: i + 1}}
+	})
+	if len(stmts) != 3 {
+		t.Fatalf("Repeat produced %d statements, want 3", len(stmts))
+	}
+	if mv, ok := stmts[2].(Move); !ok || mv.From != 2 {
+		t.Fatalf("Repeat did not thread the index: %+v", stmts[2])
+	}
+	if got := Repeat(0, func(int) []Stmt { return []Stmt{Restart{}} }); len(got) != 0 {
+		t.Fatal("Repeat(0) should be empty")
+	}
+}
+
+func TestInstructionCountFigure1(t *testing.T) {
+	p := Figure1Program()
+	// Main: OF×3 + 2 condition calls + 1 True + 3 Call bodies... counted
+	// structurally: SetOF(3) + CallCond(2) + Call(3) = 8.
+	// Test(4): 4×(detect + move|return) counts 4 detects + 4 moves +
+	// 4 returns? No: each expansion has 1 detect + 1 move + 1 return(else)
+	// = 3 per iteration → 12, + final return = 13. Test(7): 22.
+	// Clean: detect + restart + swap + detect + move = 5.
+	want := 8 + 13 + 22 + 5
+	if got := p.InstructionCount(); got != want {
+		t.Fatalf("InstructionCount = %d, want %d", got, want)
+	}
+}
+
+func TestSwapSizeFigure1(t *testing.T) {
+	p := Figure1Program()
+	// Only x and y are swappable: pairs (x,y) and (y,x).
+	if got := p.SwapSize(); got != 2 {
+		t.Fatalf("SwapSize = %d, want 2", got)
+	}
+}
+
+func TestSwapSizeTransitive(t *testing.T) {
+	// Adding swap y,z anywhere makes all of x,y,z mutually swappable:
+	// 3·2 = 6 ordered pairs, exactly the paper's example in §4.
+	p := Figure1Program()
+	clean := p.Procedures[3]
+	clean.Body = append(clean.Body, Swap{A: 1, B: 2})
+	if got := p.SwapSize(); got != 6 {
+		t.Fatalf("SwapSize = %d, want 6", got)
+	}
+}
+
+func TestSwapSizeNoSwaps(t *testing.T) {
+	p := tinyProgram()
+	if got := p.SwapSize(); got != 0 {
+		t.Fatalf("SwapSize = %d, want 0", got)
+	}
+}
+
+func TestSwapSizeDisjointComponents(t *testing.T) {
+	p := &Program{
+		Name:      "two-components",
+		Registers: []string{"a", "b", "c", "d", "e"},
+		Procedures: []*Procedure{{
+			Name: "Main",
+			Body: []Stmt{
+				Swap{A: 0, B: 1}, // {a,b}
+				Swap{A: 2, B: 3}, // {c,d}
+				While{Cond: True{}},
+			},
+		}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two components of size 2 → 2·1 + 2·1 = 4; e is untouched.
+	if got := p.SwapSize(); got != 4 {
+		t.Fatalf("SwapSize = %d, want 4", got)
+	}
+}
+
+func TestSizeIsSumOfParts(t *testing.T) {
+	p := Figure1Program()
+	want := len(p.Registers) + p.InstructionCount() + p.SwapSize()
+	if got := p.Size(); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,117 @@
+package popprog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/sched"
+)
+
+// ErrUndecided is returned by Decide when no run reached a quiet tail long
+// enough to call the output stabilised.
+var ErrUndecided = errors.New("popprog: run did not visibly stabilise within budget")
+
+// DecideOptions configures Decide.
+type DecideOptions struct {
+	// Budget is the step budget per attempt. Zero means 2,000,000.
+	Budget int64
+	// QuietFraction is the fraction of the budget that must elapse after
+	// the last restart or output change for the run to count as
+	// stabilised. Zero means 0.5.
+	QuietFraction float64
+	// Attempts is the number of independent seeds tried before giving up.
+	// Zero means 3.
+	Attempts int
+	// Seed seeds the first attempt; attempt i uses Seed+i.
+	Seed int64
+	// TruthProb overrides the detect truth probability (see RandomOracle).
+	TruthProb float64
+	// RestartHint and HintProb configure the structured restart
+	// distribution (see RandomOracle.Hint).
+	RestartHint func(total int64, regs *multiset.Multiset)
+	HintProb    float64
+}
+
+func (o DecideOptions) budget() int64 {
+	if o.Budget <= 0 {
+		return 2_000_000
+	}
+	return o.Budget
+}
+
+func (o DecideOptions) quietFraction() float64 {
+	if o.QuietFraction <= 0 || o.QuietFraction >= 1 {
+		return 0.5
+	}
+	return o.QuietFraction
+}
+
+func (o DecideOptions) attempts() int {
+	if o.Attempts <= 0 {
+		return 3
+	}
+	return o.Attempts
+}
+
+// DecideResult reports a Decide run.
+type DecideResult struct {
+	// Output is the stabilised output flag.
+	Output bool
+	// Restarts counts restarts across the deciding attempt.
+	Restarts int64
+	// Steps counts interpreter steps of the deciding attempt.
+	Steps int64
+	// Halted reports definite stabilisation (the program halted or hung,
+	// freezing the output) rather than the quiet-tail heuristic.
+	Halted bool
+}
+
+// Decide runs the program from the given initial register configuration
+// (copied, not mutated) and reports the stabilised output. Stabilisation is
+// definite if the program halts, and heuristic otherwise: the run's final
+// stretch — at least QuietFraction of the budget — must contain no restart
+// and no output-flag change. See DESIGN.md ("Exact vs statistical") for why
+// this substitution is sound for the experiments.
+func Decide(prog *Program, regs *multiset.Multiset, opts DecideOptions) (*DecideResult, error) {
+	budget := opts.budget()
+	quiet := int64(float64(budget) * opts.quietFraction())
+	var lastErr error
+	for attempt := 0; attempt < opts.attempts(); attempt++ {
+		rng := sched.NewRand(opts.Seed + int64(attempt))
+		oracle := &RandomOracle{
+			Rng:       rng,
+			TruthProb: opts.TruthProb,
+			Hint:      opts.RestartHint,
+			HintProb:  opts.HintProb,
+		}
+		it, err := NewInterp(prog, oracle, regs.Clone())
+		if err != nil {
+			return nil, err
+		}
+		status := it.Run(budget)
+		res := &DecideResult{
+			Output:   it.OF,
+			Restarts: it.Restarts,
+			Steps:    it.Steps,
+			Halted:   status == StatusHalted,
+		}
+		if status == StatusHalted || it.QuietSteps() >= quiet {
+			return res, nil
+		}
+		lastErr = fmt.Errorf("%w (attempt %d: %d steps, %d restarts, quiet tail %d < %d)",
+			ErrUndecided, attempt, it.Steps, it.Restarts, it.QuietSteps(), quiet)
+	}
+	return nil, lastErr
+}
+
+// DecideTotal is Decide starting from the configuration that places all m
+// agents in register 0 — the canonical "intended" initial configuration. By
+// self-stabilisation of population programs (§8: "they are self-stabilising
+// by definition") the choice of initial placement does not affect the
+// decided value; tests exercise other placements explicitly.
+func DecideTotal(prog *Program, m int64, opts DecideOptions) (*DecideResult, error) {
+	regs := multiset.New(len(prog.Registers))
+	regs.Set(0, m)
+	return Decide(prog, regs, opts)
+}

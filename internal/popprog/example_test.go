@@ -1,0 +1,60 @@
+package popprog_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/popprog"
+)
+
+// Parse a program from its text format and decide a population size.
+func ExampleParse() {
+	prog, err := popprog.Parse(`
+registers x, y
+proc Main {
+  of false
+  while not Test2() { Clean() }
+  of true
+  while true { }
+}
+bool proc Test2 {
+  repeat 2 {
+    if detect x { move x -> y } else { return false }
+  }
+  return true
+}
+proc Clean {
+  while detect y { move y -> x }
+}
+`)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	for _, m := range []int64{1, 2, 3} {
+		res, err := popprog.DecideTotal(prog, m, popprog.DecideOptions{Seed: m, Budget: 200_000})
+		if err != nil {
+			fmt.Println("decide error:", err)
+			return
+		}
+		fmt.Printf("m=%d decided %v\n", m, res.Output)
+	}
+	// Output:
+	// m=1 decided false
+	// m=2 decided true
+	// m=3 decided true
+}
+
+// Render the paper's Figure 1 program as pseudocode.
+func ExampleProgram_Format() {
+	prog := popprog.Figure1Program()
+	lines := strings.Split(prog.Format(), "\n")
+	fmt.Println(strings.Join(lines[:6], "\n"))
+	// Output:
+	// procedure Main
+	//   OF := false
+	//   while ¬Test(4) do
+	//     Clean
+	//   OF := true
+	//   while ¬Test(7) do
+}

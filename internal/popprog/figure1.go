@@ -1,0 +1,67 @@
+package popprog
+
+import "fmt"
+
+// Figure1Program returns the population program of Figure 1 of the paper,
+// deciding φ(x) ⟺ 4 ≤ x < 7 with registers x, y, z:
+//
+//	procedure Main               procedure Test(i)          procedure Clean
+//	  OF := false                  for j = 1, …, i do          if detect z > 0 then
+//	  while ¬Test(4) do              if detect x > 0 then        restart
+//	    Clean                          x ↦ y                   swap x, y
+//	  OF := true                     else                      while detect y > 0 do
+//	  while ¬Test(7) do                return false              y ↦ x
+//	    Clean                      return true
+//	  OF := false
+//	  while true do
+//	    Clean
+//
+// Test(4) and Test(7) are parameterised copies, and the for-loop inside
+// Test is macro-expanded, exactly as §4 prescribes. The program decides the
+// predicate on the *total* number of agents m = x + y + z: a nonzero z
+// triggers restarts until the initial configuration places nothing in z.
+func Figure1Program() *Program {
+	const (
+		regX = 0
+		regY = 1
+		regZ = 2
+	)
+	test := func(i int) *Procedure {
+		body := Repeat(i, func(int) []Stmt {
+			return []Stmt{
+				If{
+					Cond: Detect{Reg: regX},
+					Then: []Stmt{Move{From: regX, To: regY}},
+					Else: []Stmt{Return{HasValue: true, Value: false}},
+				},
+			}
+		})
+		body = append(body, Return{HasValue: true, Value: true})
+		return &Procedure{Name: fmt.Sprintf("Test(%d)", i), Returns: true, Body: body}
+	}
+	clean := &Procedure{
+		Name: "Clean",
+		Body: []Stmt{
+			If{Cond: Detect{Reg: regZ}, Then: []Stmt{Restart{}}},
+			Swap{A: regX, B: regY},
+			While{Cond: Detect{Reg: regY}, Body: []Stmt{Move{From: regY, To: regX}}},
+		},
+	}
+	// Procedure indices: 0 Main, 1 Test(4), 2 Test(7), 3 Clean.
+	main := &Procedure{
+		Name: "Main",
+		Body: []Stmt{
+			SetOF{Value: false},
+			While{Cond: Not{C: CallCond{Proc: 1}}, Body: []Stmt{Call{Proc: 3}}},
+			SetOF{Value: true},
+			While{Cond: Not{C: CallCond{Proc: 2}}, Body: []Stmt{Call{Proc: 3}}},
+			SetOF{Value: false},
+			While{Cond: True{}, Body: []Stmt{Call{Proc: 3}}},
+		},
+	}
+	return &Program{
+		Name:       "figure1-4<=x<7",
+		Registers:  []string{"x", "y", "z"},
+		Procedures: []*Procedure{main, test(4), test(7), clean},
+	}
+}

@@ -1,0 +1,44 @@
+package popprog
+
+import "testing"
+
+// FuzzParseProgram checks the program parser never panics, and that every
+// accepted program validates, sizes, formats, and round-trips through
+// WriteSource.
+func FuzzParseProgram(f *testing.F) {
+	f.Add(figure1Source)
+	f.Add(`registers a
+proc Main { while true { } }`)
+	f.Add(`registers a, b
+proc Main { move a -> b while detect a { swap a, b } }`)
+	f.Add(`registers a
+bool proc P { return true }
+proc Main { if P() { of true } while true { } }`)
+	f.Add(`registers a
+proc Main { repeat 3 { restart } }`)
+	f.Add("proc Main {")
+	f.Add("registers registers")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Parse validates; re-validate to catch inconsistency.
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("parsed program fails validation: %v\n%s", err, src)
+		}
+		if prog.Size() < 1 {
+			t.Fatalf("nonpositive size for valid program")
+		}
+		_ = prog.Format()
+		// WriteSource must re-parse.
+		again, err := Parse(prog.WriteSource())
+		if err != nil {
+			t.Fatalf("WriteSource output does not re-parse: %v\n%s", err, prog.WriteSource())
+		}
+		if again.InstructionCount() != prog.InstructionCount() {
+			t.Fatalf("round trip changed instruction count: %d vs %d",
+				prog.InstructionCount(), again.InstructionCount())
+		}
+	})
+}

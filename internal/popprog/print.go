@@ -1,0 +1,90 @@
+package popprog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program in the paper's pseudocode style (Figure 1):
+//
+//	procedure Main
+//	  OF := false
+//	  while ¬Test(4) do
+//	    Clean
+//	  ...
+func (p *Program) Format() string {
+	var sb strings.Builder
+	for i, proc := range p.Procedures {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "procedure %s\n", proc.Name)
+		p.formatStmts(&sb, proc.Body, 1)
+	}
+	return sb.String()
+}
+
+func (p *Program) formatStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Move:
+			fmt.Fprintf(sb, "%s%s ↦ %s\n", indent, p.Registers[st.From], p.Registers[st.To])
+		case Swap:
+			fmt.Fprintf(sb, "%sswap %s, %s\n", indent, p.Registers[st.A], p.Registers[st.B])
+		case SetOF:
+			fmt.Fprintf(sb, "%sOF := %v\n", indent, st.Value)
+		case Restart:
+			fmt.Fprintf(sb, "%srestart\n", indent)
+		case Return:
+			if st.HasValue {
+				fmt.Fprintf(sb, "%sreturn %v\n", indent, st.Value)
+			} else {
+				fmt.Fprintf(sb, "%sreturn\n", indent)
+			}
+		case Call:
+			fmt.Fprintf(sb, "%s%s\n", indent, p.Procedures[st.Proc].Name)
+		case If:
+			fmt.Fprintf(sb, "%sif %s then\n", indent, p.formatCond(st.Cond))
+			p.formatStmts(sb, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%selse\n", indent)
+				p.formatStmts(sb, st.Else, depth+1)
+			}
+		case While:
+			fmt.Fprintf(sb, "%swhile %s do\n", indent, p.formatCond(st.Cond))
+			p.formatStmts(sb, st.Body, depth+1)
+		default:
+			fmt.Fprintf(sb, "%s<unknown %T>\n", indent, s)
+		}
+	}
+}
+
+func (p *Program) formatCond(c Cond) string {
+	switch cd := c.(type) {
+	case Detect:
+		return fmt.Sprintf("detect %s > 0", p.Registers[cd.Reg])
+	case CallCond:
+		return p.Procedures[cd.Proc].Name
+	case Not:
+		return "¬" + p.formatCondAtomic(cd.C)
+	case And:
+		return p.formatCondAtomic(cd.L) + " ∧ " + p.formatCondAtomic(cd.R)
+	case Or:
+		return p.formatCondAtomic(cd.L) + " ∨ " + p.formatCondAtomic(cd.R)
+	case True:
+		return "true"
+	default:
+		return fmt.Sprintf("<unknown %T>", c)
+	}
+}
+
+// formatCondAtomic parenthesises compound sub-conditions.
+func (p *Program) formatCondAtomic(c Cond) string {
+	switch c.(type) {
+	case And, Or:
+		return "(" + p.formatCond(c) + ")"
+	default:
+		return p.formatCond(c)
+	}
+}

@@ -1,0 +1,67 @@
+package popprog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatFigure1LooksLikeThePaper(t *testing.T) {
+	out := Figure1Program().Format()
+	for _, want := range []string{
+		"procedure Main",
+		"OF := false",
+		"while ¬Test(4) do",
+		"while ¬Test(7) do",
+		"while true do",
+		"procedure Test(4)",
+		"if detect x > 0 then",
+		"x ↦ y",
+		"return false",
+		"return true",
+		"procedure Clean",
+		"if detect z > 0 then",
+		"restart",
+		"swap x, y",
+		"while detect y > 0 do",
+		"y ↦ x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatConnectives(t *testing.T) {
+	p := &Program{
+		Name:      "conds",
+		Registers: []string{"a", "b"},
+		Procedures: []*Procedure{{
+			Name: "Main",
+			Body: []Stmt{
+				If{Cond: And{L: Detect{Reg: 0}, R: Or{L: Detect{Reg: 1}, R: True{}}},
+					Then: []Stmt{SetOF{Value: true}},
+					Else: []Stmt{SetOF{Value: false}},
+				},
+				While{Cond: True{}},
+			},
+		}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Format()
+	if !strings.Contains(out, "detect a > 0 ∧ (detect b > 0 ∨ true)") {
+		t.Fatalf("connective rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "else") {
+		t.Fatalf("else branch missing:\n%s", out)
+	}
+}
+
+func TestFormatIndentation(t *testing.T) {
+	out := Figure1Program().Format()
+	// The move inside Clean's while loop is nested two levels deep.
+	if !strings.Contains(out, "\n    y ↦ x") {
+		t.Fatalf("nested indentation wrong:\n%s", out)
+	}
+}

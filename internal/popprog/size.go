@@ -1,0 +1,137 @@
+package popprog
+
+import "sort"
+
+// Size computes the size measure of §4: |Q| + L + S, where |Q| is the
+// number of registers, L the number of instructions, and S the swap-size.
+//
+// L counts the atomic instructions of the program: move, swap, OF
+// assignment, restart, return, and each condition atom (a detect or a
+// procedure call, whether it appears as a statement or inside a condition).
+// Boolean connectives in conditions are free — they compile into jumps that
+// re-use the underlying atoms' condition-flag results.
+func (p *Program) Size() int {
+	return len(p.Registers) + p.InstructionCount() + p.SwapSize()
+}
+
+// InstructionCount returns L, the number of instructions.
+func (p *Program) InstructionCount() int {
+	total := 0
+	for _, proc := range p.Procedures {
+		total += countStmts(proc.Body)
+	}
+	return total
+}
+
+func countStmts(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Move, Swap, SetOF, Restart, Return, Call:
+			n++
+		case If:
+			n += countCond(st.Cond) + countStmts(st.Then) + countStmts(st.Else)
+		case While:
+			n += countCond(st.Cond) + countStmts(st.Body)
+		}
+	}
+	return n
+}
+
+func countCond(c Cond) int {
+	switch cd := c.(type) {
+	case Detect, CallCond:
+		return 1
+	case Not:
+		return countCond(cd.C)
+	case And:
+		return countCond(cd.L) + countCond(cd.R)
+	case Or:
+		return countCond(cd.L) + countCond(cd.R)
+	default: // True
+		return 0
+	}
+}
+
+// SwapSize returns S, the swap-size of §4: the number of ordered pairs
+// (x, y) ∈ Q² with x ≠ y such that x's value can end up in y via some
+// sequence of swap instructions. Syntactic swappability is the transitive
+// closure of the swap edges, so S = Σ over connected components of size c
+// (with at least one swap edge) of c·(c−1). In Figure 1 this yields 2 for
+// the single swap x, y; adding swap y, z would yield 6.
+func (p *Program) SwapSize() int {
+	total := 0
+	for _, comp := range p.SwapClasses() {
+		total += len(comp) * (len(comp) - 1)
+	}
+	return total
+}
+
+// SwapClasses returns the connected components of the swap graph that
+// contain at least one swap edge, each as a sorted list of register
+// indices. The compiler uses them as the register-map pointer domains
+// (V_x ranges exactly over the registers x can be swapped with).
+func (p *Program) SwapClasses() [][]int {
+	n := len(p.Registers)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	touched := make([]bool, n)
+	var walk func([]Stmt)
+	walkCond := func(Cond) {} // conditions contain no swaps
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case Swap:
+				union(st.A, st.B)
+				touched[st.A] = true
+				touched[st.B] = true
+			case If:
+				walkCond(st.Cond)
+				walk(st.Then)
+				walk(st.Else)
+			case While:
+				walkCond(st.Cond)
+				walk(st.Body)
+			}
+		}
+	}
+	for _, proc := range p.Procedures {
+		walk(proc.Body)
+	}
+	rootTouched := make([]bool, n)
+	for i, t := range touched {
+		if t {
+			rootTouched[find(i)] = true
+		}
+	}
+	members := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		if rootTouched[find(i)] {
+			r := find(i)
+			members[r] = append(members[r], i)
+		}
+	}
+	out := make([][]int, 0, len(members))
+	for _, comp := range members {
+		sort.Ints(comp)
+		out = append(out, comp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,127 @@
+package popprog
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// identRe matches names the text format can represent verbatim.
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+// WriteSource renders the program in the text format accepted by Parse —
+// the machine-readable counterpart of Format (which renders the paper's
+// pseudocode). Register and procedure names must be identifiers; names
+// with other characters (such as the generated "Test(4)" or "Zero(xb1)")
+// are mangled deterministically by replacing non-identifier characters
+// with underscores, keeping the output parseable.
+//
+// Parse(WriteSource(p)) yields a structurally identical program up to that
+// renaming; TestSourceRoundTrip asserts it.
+func (p *Program) WriteSource() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", mangle(p.Name))
+	sb.WriteString("registers ")
+	regs := make([]string, len(p.Registers))
+	for i, r := range p.Registers {
+		regs[i] = mangle(r)
+	}
+	sb.WriteString(strings.Join(regs, ", "))
+	sb.WriteString("\n")
+	for _, proc := range p.Procedures {
+		sb.WriteString("\n")
+		if proc.Returns {
+			sb.WriteString("bool ")
+		}
+		fmt.Fprintf(&sb, "proc %s {\n", mangle(proc.Name))
+		p.writeSourceStmts(&sb, proc.Body, 1)
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func mangle(name string) string {
+	if identRe.MatchString(name) {
+		return name
+	}
+	var out strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out.WriteRune(r)
+		default:
+			out.WriteByte('_')
+		}
+	}
+	s := out.String()
+	if s == "" || (s[0] >= '0' && s[0] <= '9') {
+		s = "p" + s
+	}
+	return s
+}
+
+func (p *Program) writeSourceStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Move:
+			fmt.Fprintf(sb, "%smove %s -> %s\n", indent,
+				mangle(p.Registers[st.From]), mangle(p.Registers[st.To]))
+		case Swap:
+			fmt.Fprintf(sb, "%sswap %s, %s\n", indent,
+				mangle(p.Registers[st.A]), mangle(p.Registers[st.B]))
+		case SetOF:
+			fmt.Fprintf(sb, "%sof %v\n", indent, st.Value)
+		case Restart:
+			fmt.Fprintf(sb, "%srestart\n", indent)
+		case Return:
+			if st.HasValue {
+				fmt.Fprintf(sb, "%sreturn %v\n", indent, st.Value)
+			} else {
+				fmt.Fprintf(sb, "%sreturn\n", indent)
+			}
+		case Call:
+			fmt.Fprintf(sb, "%s%s()\n", indent, mangle(p.Procedures[st.Proc].Name))
+		case If:
+			fmt.Fprintf(sb, "%sif %s {\n", indent, p.writeSourceCond(st.Cond))
+			p.writeSourceStmts(sb, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				p.writeSourceStmts(sb, st.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case While:
+			fmt.Fprintf(sb, "%swhile %s {\n", indent, p.writeSourceCond(st.Cond))
+			p.writeSourceStmts(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		}
+	}
+}
+
+func (p *Program) writeSourceCond(c Cond) string {
+	switch cd := c.(type) {
+	case Detect:
+		return "detect " + mangle(p.Registers[cd.Reg])
+	case CallCond:
+		return mangle(p.Procedures[cd.Proc].Name) + "()"
+	case Not:
+		return "not " + p.writeSourceCondAtom(cd.C)
+	case And:
+		return p.writeSourceCondAtom(cd.L) + " and " + p.writeSourceCondAtom(cd.R)
+	case Or:
+		return p.writeSourceCondAtom(cd.L) + " or " + p.writeSourceCondAtom(cd.R)
+	case True:
+		return "true"
+	default:
+		return "true"
+	}
+}
+
+func (p *Program) writeSourceCondAtom(c Cond) string {
+	switch c.(type) {
+	case And, Or:
+		return "(" + p.writeSourceCond(c) + ")"
+	default:
+		return p.writeSourceCond(c)
+	}
+}

@@ -1,0 +1,128 @@
+package popprog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripNames normalises a program for structural comparison: names are
+// replaced by indices so mangled identifiers compare equal.
+func stripNames(p *Program) *Program {
+	out := &Program{
+		Name:      "",
+		Registers: make([]string, len(p.Registers)),
+	}
+	for i := range out.Registers {
+		out.Registers[i] = "r"
+	}
+	for _, proc := range p.Procedures {
+		out.Procedures = append(out.Procedures, &Procedure{
+			Name:    "p",
+			Returns: proc.Returns,
+			Body:    proc.Body,
+		})
+	}
+	return out
+}
+
+func TestSourceRoundTrip(t *testing.T) {
+	for _, prog := range []*Program{
+		Figure1Program(),
+		tinyProgram(),
+	} {
+		src := prog.WriteSource()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: re-parse failed: %v\n%s", prog.Name, err, src)
+		}
+		a, b := stripNames(prog), stripNames(parsed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: round trip changed the program\noriginal:\n%s\nre-parsed source:\n%s",
+				prog.Name, prog.Format(), parsed.Format())
+		}
+	}
+}
+
+func TestSourceRoundTripDecisions(t *testing.T) {
+	// Semantics-level round trip on Figure 1.
+	parsed, err := Parse(Figure1Program().WriteSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := int64(2); m <= 8; m++ {
+		want := m >= 4 && m < 7
+		res, err := DecideTotal(parsed, m, DecideOptions{Seed: m, Budget: 300_000})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if res.Output != want {
+			t.Fatalf("m=%d: %v, want %v", m, res.Output, want)
+		}
+	}
+}
+
+func TestMangle(t *testing.T) {
+	cases := map[string]string{
+		"Main":          "Main",
+		"Test(4)":       "Test_4_",
+		"IncrPair(x,y)": "IncrPair_x_y_",
+		"x̄1":           mangle("x̄1"), // deterministic, identifier-safe
+		"":              "p",
+		"4abc":          "p4abc",
+	}
+	for in, want := range cases {
+		got := mangle(in)
+		if got != want {
+			t.Fatalf("mangle(%q) = %q, want %q", in, got, want)
+		}
+		if !identRe.MatchString(got) {
+			t.Fatalf("mangle(%q) = %q is not an identifier", in, got)
+		}
+	}
+}
+
+func TestSourceOfConstructionParses(t *testing.T) {
+	// The generated construction uses non-identifier procedure names
+	// ("Large(xb1)"); WriteSource must mangle them into parseable form.
+	// (Import cycle prevents building the construction here; emulate with
+	// a program using the same naming scheme.)
+	p := &Program{
+		Name:      "gen",
+		Registers: []string{"x1", "xb1"},
+		Procedures: []*Procedure{
+			{
+				Name: "Main",
+				Body: []Stmt{
+					If{Cond: CallCond{Proc: 1}, Then: []Stmt{SetOF{Value: true}}},
+					While{Cond: True{}},
+				},
+			},
+			{
+				Name:    "Large(xb1)",
+				Returns: true,
+				Body: []Stmt{
+					If{
+						Cond: Detect{Reg: 1},
+						Then: []Stmt{
+							Move{From: 1, To: 0},
+							Swap{A: 0, B: 1},
+							Return{HasValue: true, Value: true},
+						},
+						Else: []Stmt{Return{HasValue: true, Value: false}},
+					},
+				},
+			},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	src := p.WriteSource()
+	if strings.Contains(src, "(xb1)") {
+		t.Fatalf("unmangled name survived:\n%s", src)
+	}
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+}

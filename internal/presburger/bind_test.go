@@ -1,0 +1,66 @@
+package presburger
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestBindPredicateThreshold(t *testing.T) {
+	pred, err := BindPredicate(Threshold("x", big.NewInt(4)), []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred([]int64{3}) || !pred([]int64{4}) {
+		t.Fatal("bound threshold wrong")
+	}
+}
+
+func TestBindPredicateMajorityOrdering(t *testing.T) {
+	pred, err := BindPredicate(Majority("x", "y"), []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred([]int64{3, 3}) || pred([]int64{2, 3}) {
+		t.Fatal("bound majority wrong")
+	}
+	// Swapped binding flips the decision.
+	swapped, err := BindPredicate(Majority("x", "y"), []string{"y", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped([]int64{2, 3}) {
+		t.Fatal("swapped binding should flip the roles")
+	}
+}
+
+func TestBindPredicateMissingInputsAreZero(t *testing.T) {
+	pred, err := BindPredicate(MustParse("x + y >= 2"), []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one input supplied: y defaults to 0.
+	if pred([]int64{1}) || !pred([]int64{2}) {
+		t.Fatal("short input handling wrong")
+	}
+}
+
+func TestBindPredicateValidation(t *testing.T) {
+	if _, err := BindPredicate(MustParse("x >= 1"), []string{"y"}); err == nil {
+		t.Fatal("accepted an unbound free variable")
+	}
+	if _, err := BindPredicate(MustParse("x >= 1"), []string{"x", "x"}); err == nil {
+		t.Fatal("accepted a duplicate binding")
+	}
+	if _, err := BindPredicate(MustParse("x >= 1"), []string{"x", "unused"}); err != nil {
+		t.Fatalf("rejected an extra binding: %v", err)
+	}
+}
+
+func TestMustBindPredicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBindPredicate did not panic")
+		}
+	}()
+	MustBindPredicate(MustParse("x >= 1"), nil)
+}

@@ -1,0 +1,53 @@
+package presburger
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzParse checks the formula parser never panics and that successfully
+// parsed formulas can be evaluated, sized, rendered and re-parsed.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"x >= 10",
+		"4 <= x && x < 7",
+		"x + 2*y >= 3 + y",
+		"x mod 5 = 2",
+		"!(x = 0) || y > 2",
+		"-x + 3 > 0",
+		"x % 2 = 1 && (y >= 0 || x != 4)",
+		"((x >= 1))",
+		"x >=",
+		"mod mod mod",
+		"0 >= 0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := Parse(src)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		v := map[string]*big.Int{"x": big.NewInt(3), "y": big.NewInt(-1)}
+		got := formula.Eval(v)
+		if formula.Size() < 1 {
+			t.Fatalf("parsed formula has size %d", formula.Size())
+		}
+		// The rendering must re-parse to a formula agreeing at the probe
+		// valuation.
+		again, err := Parse(formula.String())
+		if err != nil {
+			t.Fatalf("rendered formula does not re-parse: %q: %v", formula.String(), err)
+		}
+		if again.Eval(v) != got {
+			t.Fatalf("round-trip changed semantics: %q vs %q", src, formula.String())
+		}
+		// Simplify and NNF must preserve the probe value too.
+		if Simplify(formula).Eval(v) != got {
+			t.Fatalf("Simplify changed semantics of %q", src)
+		}
+		if NNF(formula).Eval(v) != got {
+			t.Fatalf("NNF changed semantics of %q", src)
+		}
+	})
+}

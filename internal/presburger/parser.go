@@ -1,0 +1,325 @@
+package presburger
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a quantifier-free Presburger formula from a small concrete
+// syntax:
+//
+//	formula := or
+//	or      := and { "||" and }
+//	and     := unary { "&&" unary }
+//	unary   := "!" unary | "(" formula ")" | atom
+//	atom    := expr [ "mod" number ] cmp expr
+//	cmp     := "<" | "<=" | "=" | "==" | "!=" | ">=" | ">"
+//	expr    := [ "-" ] product { ("+" | "-") product }
+//	product := number [ "*" ident ] | ident
+//
+// Examples: "x >= 10", "x + 2*y >= 3", "4 <= x && x < 7",
+// "x mod 5 = 2", "!(x = 0) || y > 2".
+func Parse(input string) (Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("presburger: unexpected %q at end of formula", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse for statically known formulas; it panics on error.
+// It is intended for package-level declarations in tests and examples.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokenKind int
+
+const (
+	tokNumber tokenKind = iota + 1
+	tokIdent
+	tokSymbol
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	runes := []rune(input)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(runes) && unicode.IsDigit(runes[j]) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, string(runes[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, string(runes[i:j])})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(runes) {
+				two = string(runes[i : i+2])
+			}
+			switch two {
+			case "<=", ">=", "==", "!=", "&&", "||":
+				toks = append(toks, token{tokSymbol, two})
+				i += 2
+				continue
+			}
+			switch r {
+			case '<', '>', '=', '!', '(', ')', '+', '-', '*', '%':
+				toks = append(toks, token{tokSymbol, string(r)})
+				i++
+			default:
+				return nil, fmt.Errorf("presburger: unexpected character %q", r)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tokSymbol || t.kind == tokIdent) && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	if p.accept("!") {
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{F: f}, nil
+	}
+	// A '(' here is ambiguous: it may open a parenthesised formula or a
+	// parenthesised arithmetic expression is not supported, so try formula.
+	if p.accept("(") {
+		f, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, fmt.Errorf("presburger: missing ')' before %q", p.peek().text)
+		}
+		return f, nil
+	}
+	return p.parseAtom()
+}
+
+// linExpr is a parsed linear expression: a term plus an integer constant.
+type linExpr struct {
+	term  *Term
+	konst *big.Int
+}
+
+func (p *parser) parseAtom() (Formula, error) {
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var modulus *big.Int
+	if p.accept("mod") || p.accept("%") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("presburger: expected modulus after 'mod', got %q", t.text)
+		}
+		modulus = mustBig(t.text)
+		if modulus.Sign() <= 0 {
+			return nil, fmt.Errorf("presburger: modulus must be positive, got %s", modulus)
+		}
+	}
+	opTok := p.next()
+	op, ok := map[string]Comparison{
+		"<": Less, "<=": LessEq, "=": Equal, "==": Equal,
+		"!=": NotEqual, ">=": GreaterEq, ">": Greater,
+	}[opTok.text]
+	if !ok || opTok.kind != tokSymbol {
+		return nil, fmt.Errorf("presburger: expected comparison operator, got %q", opTok.text)
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+
+	if modulus != nil {
+		if op != Equal {
+			return nil, fmt.Errorf("presburger: 'mod' atoms only support '=', got %q", op)
+		}
+		if len(rhs.term.Variables()) > 0 {
+			return nil, fmt.Errorf("presburger: right side of a mod atom must be constant")
+		}
+		residue := new(big.Int).Sub(rhs.konst, lhs.konst)
+		return NewMod(lhs.term, residue, modulus)
+	}
+
+	// Normalise (t₁ + c₁) op (t₂ + c₂) into (t₁ − t₂) op (c₂ − c₁).
+	diff := NewTerm()
+	for _, v := range lhs.term.Variables() {
+		diff.Add(v, lhs.term.Coeff(v))
+	}
+	for _, v := range rhs.term.Variables() {
+		diff.Add(v, new(big.Int).Neg(rhs.term.Coeff(v)))
+	}
+	konst := new(big.Int).Sub(rhs.konst, lhs.konst)
+	return NewAtom(diff, op, konst), nil
+}
+
+func (p *parser) parseExpr() (*linExpr, error) {
+	e := &linExpr{term: NewTerm(), konst: new(big.Int)}
+	sign := big.NewInt(1)
+	if p.accept("-") {
+		sign = big.NewInt(-1)
+	}
+	if err := p.parseProduct(e, sign); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			if err := p.parseProduct(e, big.NewInt(1)); err != nil {
+				return nil, err
+			}
+		case p.accept("-"):
+			if err := p.parseProduct(e, big.NewInt(-1)); err != nil {
+				return nil, err
+			}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseProduct(e *linExpr, sign *big.Int) error {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		coeff := new(big.Int).Mul(sign, mustBig(t.text))
+		if p.accept("*") {
+			id := p.next()
+			if id.kind != tokIdent {
+				return fmt.Errorf("presburger: expected variable after '*', got %q", id.text)
+			}
+			e.term.Add(id.text, coeff)
+			return nil
+		}
+		e.konst.Add(e.konst, coeff)
+		return nil
+	case tokIdent:
+		if t.text == "mod" {
+			return fmt.Errorf("presburger: unexpected 'mod'")
+		}
+		e.term.Add(t.text, new(big.Int).Set(sign))
+		return nil
+	default:
+		return fmt.Errorf("presburger: expected number or variable, got %q", t.text)
+	}
+}
+
+func mustBig(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic(fmt.Sprintf("presburger: lexer produced unparseable number %q", s))
+	}
+	return v
+}
+
+// FormatValuation renders a valuation deterministically for error messages.
+func FormatValuation(v map[string]*big.Int) string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", k, v[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

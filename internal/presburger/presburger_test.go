@@ -1,0 +1,357 @@
+package presburger
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func val(pairs ...interface{}) map[string]*big.Int {
+	v := make(map[string]*big.Int)
+	for i := 0; i < len(pairs); i += 2 {
+		v[pairs[i].(string)] = big.NewInt(int64(pairs[i+1].(int)))
+	}
+	return v
+}
+
+func TestTermArithmetic(t *testing.T) {
+	tm := NewTerm()
+	tm.Add("x", big.NewInt(2))
+	tm.Add("y", big.NewInt(-1))
+	tm.Add("x", big.NewInt(1))
+	if got := tm.Eval(val("x", 3, "y", 4)); got.Cmp(big.NewInt(5)) != 0 {
+		t.Fatalf("Eval = %s, want 5", got)
+	}
+	if got := tm.Coeff("x"); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("Coeff(x) = %s, want 3", got)
+	}
+	if got := tm.Coeff("z"); got.Sign() != 0 {
+		t.Fatalf("Coeff(z) = %s, want 0", got)
+	}
+}
+
+func TestTermCancellation(t *testing.T) {
+	tm := Var("x")
+	tm.Add("x", big.NewInt(-1))
+	if len(tm.Variables()) != 0 {
+		t.Fatalf("cancelled variable still present: %v", tm.Variables())
+	}
+	if tm.String() != "0" {
+		t.Fatalf("String = %q, want \"0\"", tm.String())
+	}
+}
+
+func TestTermScale(t *testing.T) {
+	tm := Var("x")
+	tm.Add("y", big.NewInt(2))
+	tm.Scale(big.NewInt(3))
+	if got := tm.Eval(val("x", 1, "y", 1)); got.Cmp(big.NewInt(9)) != 0 {
+		t.Fatalf("after Scale: %s, want 9", got)
+	}
+	tm.Scale(big.NewInt(0))
+	if len(tm.Variables()) != 0 {
+		t.Fatal("Scale(0) should clear the term")
+	}
+}
+
+func TestTermMissingVariablesAreZero(t *testing.T) {
+	tm := Var("x")
+	tm.Add("y", big.NewInt(5))
+	if got := tm.Eval(val("x", 2)); got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("Eval with missing y = %s, want 2", got)
+	}
+}
+
+func TestAtomComparisons(t *testing.T) {
+	cases := []struct {
+		op   Comparison
+		x    int
+		want bool
+	}{
+		{Less, 4, true}, {Less, 5, false},
+		{LessEq, 5, true}, {LessEq, 6, false},
+		{Equal, 5, true}, {Equal, 4, false},
+		{NotEqual, 4, true}, {NotEqual, 5, false},
+		{GreaterEq, 5, true}, {GreaterEq, 4, false},
+		{Greater, 6, true}, {Greater, 5, false},
+	}
+	for _, tc := range cases {
+		a := NewAtom(Var("x"), tc.op, big.NewInt(5))
+		if got := a.Eval(val("x", tc.x)); got != tc.want {
+			t.Errorf("x=%d %s 5: got %v, want %v", tc.x, tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestModAtom(t *testing.T) {
+	m, err := NewMod(Var("x"), big.NewInt(2), big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Eval(val("x", 7)) || m.Eval(val("x", 8)) {
+		t.Fatal("mod evaluation wrong")
+	}
+	// Negative values use the Euclidean remainder: -3 ≡ 2 (mod 5).
+	if !m.Eval(val("x", -3)) {
+		t.Fatal("mod of negative value should be Euclidean")
+	}
+	if _, err := NewMod(Var("x"), big.NewInt(0), big.NewInt(0)); err == nil {
+		t.Fatal("NewMod accepted modulus 0")
+	}
+}
+
+func TestConnectives(t *testing.T) {
+	f := &And{
+		L: NewAtom(Var("x"), GreaterEq, big.NewInt(4)),
+		R: &Not{F: NewAtom(Var("x"), GreaterEq, big.NewInt(7))},
+	}
+	for x, want := range map[int]bool{3: false, 4: true, 6: true, 7: false} {
+		if got := f.Eval(val("x", x)); got != want {
+			t.Errorf("4≤x<7 at x=%d: got %v", x, got)
+		}
+	}
+	g := &Or{
+		L: NewAtom(Var("x"), Equal, big.NewInt(0)),
+		R: NewAtom(Var("x"), Equal, big.NewInt(2)),
+	}
+	if !g.Eval(val("x", 0)) || !g.Eval(val("x", 2)) || g.Eval(val("x", 1)) {
+		t.Fatal("Or evaluation wrong")
+	}
+}
+
+func TestThresholdSizeIsLogK(t *testing.T) {
+	// |x ≥ 2^n| must grow linearly in n (§1: |φ_n| ∈ Θ(n)).
+	var sizes []int64
+	for n := 1; n <= 64; n *= 2 {
+		k := new(big.Int).Lsh(big.NewInt(1), uint(n))
+		sizes = append(sizes, Threshold("x", k).Size())
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("sizes not increasing: %v", sizes)
+		}
+	}
+	// Linear in bits: size(2^64) − size(2^1) should be ≈ 63.
+	if diff := sizes[len(sizes)-1] - sizes[0]; diff < 50 || diff > 80 {
+		t.Fatalf("threshold size not linear in log k: %v", sizes)
+	}
+}
+
+func TestSizeComposition(t *testing.T) {
+	a := NewAtom(Var("x"), GreaterEq, big.NewInt(4))
+	n := &Not{F: a}
+	if n.Size() != a.Size()+1 {
+		t.Fatalf("Not size %d, want %d", n.Size(), a.Size()+1)
+	}
+	and := &And{L: a, R: a}
+	if and.Size() != 2*a.Size()+1 {
+		t.Fatalf("And size %d", and.Size())
+	}
+	or := &Or{L: a, R: a}
+	if or.Size() != 2*a.Size()+1 {
+		t.Fatalf("Or size %d", or.Size())
+	}
+}
+
+func TestVariables(t *testing.T) {
+	f := MustParse("x + 2*y >= 3 && z mod 2 = 1")
+	got := Variables(f)
+	if len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Fatalf("Variables = %v", got)
+	}
+}
+
+func TestHelperConstructors(t *testing.T) {
+	th := Threshold("x", big.NewInt(10))
+	if !th.Eval(val("x", 10)) || th.Eval(val("x", 9)) {
+		t.Fatal("Threshold wrong")
+	}
+	iv := Interval("x", big.NewInt(4), big.NewInt(7))
+	if !iv.Eval(val("x", 4)) || !iv.Eval(val("x", 6)) || iv.Eval(val("x", 7)) || iv.Eval(val("x", 3)) {
+		t.Fatal("Interval wrong")
+	}
+	mj := Majority("x", "y")
+	if !mj.Eval(val("x", 3, "y", 3)) || mj.Eval(val("x", 2, "y", 3)) {
+		t.Fatal("Majority wrong")
+	}
+}
+
+func TestParseSimpleThreshold(t *testing.T) {
+	f, err := Parse("x >= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Eval(val("x", 10)) || f.Eval(val("x", 9)) {
+		t.Fatal("parsed threshold wrong")
+	}
+}
+
+func TestParseLinearBothSides(t *testing.T) {
+	// x + 2*y >= 3 + y  ⟺  x + y ≥ 3.
+	f, err := Parse("x + 2*y >= 3 + y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Eval(val("x", 1, "y", 2)) || f.Eval(val("x", 1, "y", 1)) {
+		t.Fatal("normalisation across sides wrong")
+	}
+}
+
+func TestParseNegativeAndSubtraction(t *testing.T) {
+	f, err := Parse("-x + 3 > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Eval(val("x", 2)) || f.Eval(val("x", 3)) {
+		t.Fatal("leading minus handled wrong")
+	}
+	g, err := Parse("x - y = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Eval(val("x", 4, "y", 3)) || g.Eval(val("x", 4, "y", 4)) {
+		t.Fatal("subtraction handled wrong")
+	}
+}
+
+func TestParseModSyntax(t *testing.T) {
+	for _, src := range []string{"x mod 5 = 2", "x % 5 = 2"} {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if !f.Eval(val("x", 12)) || f.Eval(val("x", 11)) {
+			t.Fatalf("%q evaluated wrong", src)
+		}
+	}
+}
+
+func TestParseBooleanStructure(t *testing.T) {
+	f, err := Parse("4 <= x && x < 7 || x = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, want := range map[int]bool{3: false, 5: true, 7: false, 100: true} {
+		if got := f.Eval(val("x", x)); got != want {
+			t.Errorf("x=%d: got %v, want %v", x, got, want)
+		}
+	}
+	g, err := Parse("!(x = 0) && (x < 5 || x > 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, want := range map[int]bool{0: false, 3: true, 7: false, 11: true} {
+		if got := g.Eval(val("x", x)); got != want {
+			t.Errorf("g at x=%d: got %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "x >=", ">= 3", "x ! 3", "x >= 10 extra", "x mod 0 = 1",
+		"x mod 5 >= 2", "x mod 5 = y", "(x >= 1", "x @ 3", "3 * >= 2",
+		"x >= 10 &&", "2 * 3 >= 1 *",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on a bad formula")
+		}
+	}()
+	MustParse("x >=")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// String output of a parsed formula must re-parse to an equivalent
+	// formula (checked pointwise on a grid).
+	srcs := []string{
+		"x >= 10",
+		"4 <= x && x < 7",
+		"x + 2*y >= 3",
+		"!(x = 0) || y > 2",
+	}
+	for _, src := range srcs {
+		f := MustParse(src)
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", f.String(), src, err)
+		}
+		for x := -2; x <= 12; x++ {
+			for y := -2; y <= 4; y++ {
+				v := val("x", x, "y", y)
+				if f.Eval(v) != g.Eval(v) {
+					t.Fatalf("%q and its round-trip %q disagree at x=%d y=%d", src, f.String(), x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestParsedThresholdMatchesConstructor(t *testing.T) {
+	f := func(k uint32, x uint32) bool {
+		kb := big.NewInt(int64(k))
+		parsed := MustParse("x >= " + kb.String())
+		built := Threshold("x", kb)
+		v := map[string]*big.Int{"x": big.NewInt(int64(x))}
+		return parsed.Eval(v) == built.Eval(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComparisonString(t *testing.T) {
+	ops := map[Comparison]string{
+		Less: "<", LessEq: "<=", Equal: "=", NotEqual: "!=",
+		GreaterEq: ">=", Greater: ">",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestFormatValuationDeterministic(t *testing.T) {
+	v := val("b", 2, "a", 1, "c", 3)
+	if got := FormatValuation(v); got != "{a=1, b=2, c=3}" {
+		t.Fatalf("FormatValuation = %q", got)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	tm := NewTerm()
+	tm.Add("x", big.NewInt(2))
+	tm.Add("y", big.NewInt(-1))
+	tm.Add("z", big.NewInt(1))
+	if got := tm.String(); got != "2*x - y + z" {
+		t.Fatalf("Term.String = %q", got)
+	}
+	neg := NewTerm()
+	neg.Add("x", big.NewInt(-3))
+	if got := neg.String(); got != "-3*x" {
+		t.Fatalf("Term.String = %q", got)
+	}
+}
+
+func TestHugeThresholdEval(t *testing.T) {
+	// Double-exponential threshold: k = 2^(2^6) = 2^64; exercise big.Int.
+	k := new(big.Int).Lsh(big.NewInt(1), 64)
+	f := Threshold("x", k)
+	just := new(big.Int).Set(k)
+	below := new(big.Int).Sub(k, big.NewInt(1))
+	if !f.Eval(map[string]*big.Int{"x": just}) {
+		t.Fatal("x = k should satisfy x ≥ k")
+	}
+	if f.Eval(map[string]*big.Int{"x": below}) {
+		t.Fatal("x = k−1 should not satisfy x ≥ k")
+	}
+}

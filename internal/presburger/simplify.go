@@ -1,0 +1,158 @@
+package presburger
+
+import "math/big"
+
+// Bool is a constant formula (the result of folding variable-free atoms).
+type Bool struct{ Value bool }
+
+var _ Formula = Bool{}
+
+// Eval implements Formula.
+func (b Bool) Eval(map[string]*big.Int) bool { return b.Value }
+
+// Size implements Formula.
+func (b Bool) Size() int64 { return 1 }
+
+func (b Bool) collectVars(map[string]bool) {}
+
+// String implements fmt.Stringer.
+func (b Bool) String() string {
+	if b.Value {
+		return "true"
+	}
+	return "false"
+}
+
+// negateComparison returns the complementary operator.
+func negateComparison(op Comparison) Comparison {
+	switch op {
+	case Less:
+		return GreaterEq
+	case LessEq:
+		return Greater
+	case Equal:
+		return NotEqual
+	case NotEqual:
+		return Equal
+	case GreaterEq:
+		return Less
+	default: // Greater
+		return LessEq
+	}
+}
+
+// copyTerm deep-copies a term.
+func copyTerm(t *Term) *Term {
+	out := NewTerm()
+	for _, v := range t.Variables() {
+		out.Add(v, t.Coeff(v))
+	}
+	return out
+}
+
+// NNF rewrites the formula into negation normal form: negations are pushed
+// down to the leaves via De Morgan's laws and eliminated at linear atoms by
+// flipping the comparison. Negated Mod atoms remain as ¬-literals (removing
+// them would require a disjunction over residues, blowing up |φ|).
+func NNF(f Formula) Formula {
+	return nnf(f, false)
+}
+
+func nnf(f Formula, negated bool) Formula {
+	switch g := f.(type) {
+	case *Not:
+		return nnf(g.F, !negated)
+	case *And:
+		if negated {
+			return &Or{L: nnf(g.L, true), R: nnf(g.R, true)}
+		}
+		return &And{L: nnf(g.L, false), R: nnf(g.R, false)}
+	case *Or:
+		if negated {
+			return &And{L: nnf(g.L, true), R: nnf(g.R, true)}
+		}
+		return &Or{L: nnf(g.L, false), R: nnf(g.R, false)}
+	case *Atom:
+		op := g.Op
+		if negated {
+			op = negateComparison(op)
+		}
+		return NewAtom(copyTerm(g.T), op, g.Const)
+	case *Mod:
+		m := &Mod{
+			T:       copyTerm(g.T),
+			Residue: new(big.Int).Set(g.Residue),
+			Modulus: new(big.Int).Set(g.Modulus),
+		}
+		if negated {
+			return &Not{F: m}
+		}
+		return m
+	case Bool:
+		return Bool{Value: g.Value != negated}
+	default:
+		if negated {
+			return &Not{F: f}
+		}
+		return f
+	}
+}
+
+// Simplify folds variable-free atoms to constants and applies the boolean
+// identities (x ∧ true = x, x ∨ false = x, absorption by constants,
+// double negation). It never increases |φ| and preserves Eval pointwise.
+func Simplify(f Formula) Formula {
+	switch g := f.(type) {
+	case *Atom:
+		if len(g.T.Variables()) == 0 {
+			return Bool{Value: g.Eval(nil)}
+		}
+		return g
+	case *Mod:
+		if len(g.T.Variables()) == 0 {
+			return Bool{Value: g.Eval(nil)}
+		}
+		return g
+	case *Not:
+		inner := Simplify(g.F)
+		if b, ok := inner.(Bool); ok {
+			return Bool{Value: !b.Value}
+		}
+		if n, ok := inner.(*Not); ok {
+			return n.F // double negation
+		}
+		return &Not{F: inner}
+	case *And:
+		l, r := Simplify(g.L), Simplify(g.R)
+		if b, ok := l.(Bool); ok {
+			if !b.Value {
+				return Bool{Value: false}
+			}
+			return r
+		}
+		if b, ok := r.(Bool); ok {
+			if !b.Value {
+				return Bool{Value: false}
+			}
+			return l
+		}
+		return &And{L: l, R: r}
+	case *Or:
+		l, r := Simplify(g.L), Simplify(g.R)
+		if b, ok := l.(Bool); ok {
+			if b.Value {
+				return Bool{Value: true}
+			}
+			return r
+		}
+		if b, ok := r.(Bool); ok {
+			if b.Value {
+				return Bool{Value: true}
+			}
+			return l
+		}
+		return &Or{L: l, R: r}
+	default:
+		return f
+	}
+}

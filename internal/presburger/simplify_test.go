@@ -1,0 +1,151 @@
+package presburger
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// randFormula builds a random formula over variables x, y.
+func randFormula(rng *rand.Rand, depth int) Formula {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			t := Var("x")
+			t.Add("y", big.NewInt(int64(rng.Intn(5)-2)))
+			return NewAtom(t, Comparison(rng.Intn(6)+1), big.NewInt(int64(rng.Intn(9)-4)))
+		case 1:
+			m, _ := NewMod(Var("x"), big.NewInt(int64(rng.Intn(3))), big.NewInt(int64(rng.Intn(4)+1)))
+			return m
+		case 2:
+			// A variable-free atom, foldable by Simplify.
+			return NewAtom(NewTerm(), Comparison(rng.Intn(6)+1), big.NewInt(int64(rng.Intn(5)-2)))
+		default:
+			return Bool{Value: rng.Intn(2) == 0}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &Not{F: randFormula(rng, depth-1)}
+	case 1:
+		return &And{L: randFormula(rng, depth-1), R: randFormula(rng, depth-1)}
+	default:
+		return &Or{L: randFormula(rng, depth-1), R: randFormula(rng, depth-1)}
+	}
+}
+
+func equivalentOnGrid(t *testing.T, a, b Formula) {
+	t.Helper()
+	for x := int64(-3); x <= 6; x++ {
+		for y := int64(-3); y <= 6; y++ {
+			v := map[string]*big.Int{"x": big.NewInt(x), "y": big.NewInt(y)}
+			if a.Eval(v) != b.Eval(v) {
+				t.Fatalf("formulas disagree at x=%d y=%d:\n  %s\n  %s", x, y, a, b)
+			}
+		}
+	}
+}
+
+func TestNNFPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		f := randFormula(rng, 4)
+		equivalentOnGrid(t, f, NNF(f))
+	}
+}
+
+func TestNNFEliminatesNegationsAboveAtoms(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var check func(f Formula) bool
+	check = func(f Formula) bool {
+		switch g := f.(type) {
+		case *Not:
+			// Only ¬Mod literals may remain.
+			_, ok := g.F.(*Mod)
+			return ok
+		case *And:
+			return check(g.L) && check(g.R)
+		case *Or:
+			return check(g.L) && check(g.R)
+		default:
+			return true
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		g := NNF(randFormula(rng, 4))
+		if !check(g) {
+			t.Fatalf("NNF left a negation above a connective: %s", g)
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		f := randFormula(rng, 4)
+		equivalentOnGrid(t, f, Simplify(f))
+	}
+}
+
+func TestSimplifyNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		f := randFormula(rng, 4)
+		if s := Simplify(f); s.Size() > f.Size() {
+			t.Fatalf("Simplify grew the formula: %d → %d\n  %s\n  %s",
+				f.Size(), s.Size(), f, s)
+		}
+	}
+}
+
+func TestSimplifyFoldsConstants(t *testing.T) {
+	f := MustParse("1 >= 0 && x >= 3")
+	s := Simplify(f)
+	if _, ok := s.(*Atom); !ok {
+		t.Fatalf("expected the constant conjunct to fold away, got %s", s)
+	}
+	g := Simplify(MustParse("0 >= 1 && x >= 3"))
+	if b, ok := g.(Bool); !ok || b.Value {
+		t.Fatalf("expected false, got %s", g)
+	}
+	h := Simplify(MustParse("0 >= 1 || x >= 3"))
+	if _, ok := h.(*Atom); !ok {
+		t.Fatalf("expected the atom, got %s", h)
+	}
+	dd := Simplify(&Not{F: &Not{F: Threshold("x", big.NewInt(2))}})
+	if _, ok := dd.(*Atom); !ok {
+		t.Fatalf("double negation not removed: %s", dd)
+	}
+}
+
+func TestBoolFormula(t *testing.T) {
+	if !(Bool{Value: true}).Eval(nil) || (Bool{Value: false}).Eval(nil) {
+		t.Fatal("Bool.Eval wrong")
+	}
+	if (Bool{Value: true}).String() != "true" || (Bool{Value: false}).String() != "false" {
+		t.Fatal("Bool.String wrong")
+	}
+	if (Bool{}).Size() != 1 {
+		t.Fatal("Bool.Size wrong")
+	}
+	if len(Variables(Bool{Value: true})) != 0 {
+		t.Fatal("Bool has no variables")
+	}
+}
+
+func TestNegateComparisonInvolution(t *testing.T) {
+	for op := Less; op <= Greater; op++ {
+		if negateComparison(negateComparison(op)) != op {
+			t.Fatalf("negation of %v is not an involution", op)
+		}
+	}
+}
+
+func TestNNFFlipsAtoms(t *testing.T) {
+	f := &Not{F: Threshold("x", big.NewInt(5))} // ¬(x ≥ 5) ≡ x < 5
+	g := NNF(f)
+	atom, ok := g.(*Atom)
+	if !ok || atom.Op != Less {
+		t.Fatalf("NNF(¬(x≥5)) = %s", g)
+	}
+}

@@ -1,0 +1,89 @@
+package protocol
+
+import "testing"
+
+// tiny decider: all agents accept iff they started in state "a" only is not
+// expressible without transitions; build an epidemic-style accept-spread.
+func epidemicProtocol(t *testing.T, name string) *Protocol {
+	t.Helper()
+	b := NewBuilder(name)
+	b.Input("I", "S")
+	b.Transition("I", "S", "I", "I")
+	b.Accepting("I")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNegateFlipsAccepting(t *testing.T) {
+	p := epidemicProtocol(t, "epi")
+	n, err := Negate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "not-epi" {
+		t.Fatalf("name %q", n.Name)
+	}
+	for i := range p.Accepting {
+		if n.Accepting[i] == p.Accepting[i] {
+			t.Fatalf("state %d not flipped", i)
+		}
+	}
+	// Outputs flip accordingly.
+	c, _ := p.InitialConfig(2, 0)
+	if p.OutputOf(c) != OutputTrue || n.OutputOf(c) != OutputFalse {
+		t.Fatal("negated outputs wrong")
+	}
+	// Transitions and inputs are untouched (copied).
+	if len(n.Transitions) != len(p.Transitions) || len(n.Input) != len(p.Input) {
+		t.Fatal("structure changed")
+	}
+	n.Transitions[0] = Transition{}
+	if p.Transitions[0] == (Transition{}) {
+		t.Fatal("Negate shares the transition slice")
+	}
+}
+
+func TestNegateValidates(t *testing.T) {
+	if _, err := Negate(&Protocol{Name: "broken"}); err == nil {
+		t.Fatal("accepted an invalid protocol")
+	}
+}
+
+func TestProductStateCount(t *testing.T) {
+	p1 := epidemicProtocol(t, "a")
+	p2 := epidemicProtocol(t, "b")
+	prod, err := Product("a-and-b", p1, p2, OpAnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prod.NumStates(); got != p1.NumStates()*p2.NumStates() {
+		t.Fatalf("product has %d states, want %d", got, p1.NumStates()*p2.NumStates())
+	}
+}
+
+func TestProductAcceptanceCombination(t *testing.T) {
+	p1 := epidemicProtocol(t, "a")
+	p2 := epidemicProtocol(t, "b")
+	and, err := Product("and", p1, p2, OpAnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := Product("or", p1, p2, OpOr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (I, S) pairs: accepting iff first-accepting op second-accepting.
+	mixed := and.StateIndex("I×S")
+	if mixed < 0 {
+		t.Fatal("missing pair state")
+	}
+	if and.Accepting[mixed] {
+		t.Fatal("I×S should reject under AND")
+	}
+	if !or.Accepting[or.StateIndex("I×S")] {
+		t.Fatal("I×S should accept under OR")
+	}
+}

@@ -1,0 +1,67 @@
+package protocol
+
+import (
+	"repro/internal/multiset"
+)
+
+// Stepper precomputes a (q, r) → transitions index so that enabled-
+// transition queries cost O(support²) instead of O(|δ|). Converted
+// protocols (§7.3) have hundreds of thousands of transitions but only a
+// handful of occupied states at any time, which makes the index the
+// difference between seconds and hours in simulation and model checking.
+type Stepper struct {
+	p      *Protocol
+	byPair map[[2]int][]Transition
+}
+
+// NewStepper builds the index for p.
+func NewStepper(p *Protocol) *Stepper {
+	s := &Stepper{p: p, byPair: make(map[[2]int][]Transition, len(p.Transitions))}
+	for _, t := range p.Transitions {
+		if t.IsSilent() {
+			continue
+		}
+		k := [2]int{t.Q, t.R}
+		s.byPair[k] = append(s.byPair[k], t)
+	}
+	return s
+}
+
+// Protocol returns the indexed protocol.
+func (s *Stepper) Protocol() *Protocol { return s.p }
+
+// EnabledTransitions returns the non-silent transitions enabled in c.
+func (s *Stepper) EnabledTransitions(c *multiset.Multiset) []Transition {
+	support := c.Support()
+	var out []Transition
+	for _, q := range support {
+		for _, r := range support {
+			if q == r && c.Count(q) < 2 {
+				continue
+			}
+			out = append(out, s.byPair[[2]int{q, r}]...)
+		}
+	}
+	return out
+}
+
+// Successors returns the distinct configurations reachable from c in one
+// transition, using the pair index.
+func (s *Stepper) Successors(c *multiset.Multiset) []*multiset.Multiset {
+	seen := make(map[string]bool)
+	var out []*multiset.Multiset
+	for _, t := range s.EnabledTransitions(c) {
+		next := c.Clone()
+		s.p.Apply(next, t)
+		if next.Equal(c) {
+			continue
+		}
+		k := next.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, next)
+	}
+	return out
+}

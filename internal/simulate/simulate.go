@@ -1,0 +1,217 @@
+// Package simulate runs population protocols under a scheduler until
+// (apparent) stabilisation and collects convergence statistics.
+//
+// Exact stabilisation is undecidable to observe from a finite prefix in
+// general, so the runner combines two criteria:
+//
+//   - Definite: no non-silent transition is enabled. The configuration can
+//     never change again; its output is final.
+//   - Heuristic: the consensus output has been constantly true or false for
+//     a configured window of consecutive steps. This is the standard
+//     statistical criterion; EXPERIMENTS.md documents it as a substitution
+//     for the paper's order-theoretic notion of stabilisation.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+	"repro/internal/sched"
+)
+
+// ErrBudgetExhausted is returned when MaxSteps elapses without meeting a
+// stabilisation criterion.
+var ErrBudgetExhausted = errors.New("simulate: step budget exhausted before stabilisation")
+
+// Options configures a simulation run.
+type Options struct {
+	// MaxSteps bounds the total number of scheduler steps.
+	// Zero means 50,000,000.
+	MaxSteps int64
+	// StableWindow is the number of consecutive steps the output must stay
+	// constant (and non-mixed) to declare heuristic stabilisation.
+	// Zero means 10,000.
+	StableWindow int64
+	// CheckQuiescence enables the definite criterion: every
+	// QuiescencePeriod steps the runner scans for enabled transitions and
+	// stops if there are none. Zero means 1,000.
+	QuiescencePeriod int64
+}
+
+func (o Options) maxSteps() int64 {
+	if o.MaxSteps <= 0 {
+		return 50_000_000
+	}
+	return o.MaxSteps
+}
+
+func (o Options) stableWindow() int64 {
+	if o.StableWindow <= 0 {
+		return 10_000
+	}
+	return o.StableWindow
+}
+
+func (o Options) quiescencePeriod() int64 {
+	if o.QuiescencePeriod <= 0 {
+		return 1_000
+	}
+	return o.QuiescencePeriod
+}
+
+// Result describes a completed run.
+type Result struct {
+	// Output is the consensus output at the end of the run.
+	Output protocol.Output
+	// Steps is the number of scheduler steps taken.
+	Steps int64
+	// EffectiveSteps counts steps that changed the configuration.
+	EffectiveSteps int64
+	// Quiescent reports whether the run ended with no enabled transition
+	// (definite stabilisation) rather than by the heuristic window.
+	Quiescent bool
+	// ConvergenceStep is the first step after which the output never
+	// changed for the remainder of the run.
+	ConvergenceStep int64
+	// Final is the final configuration.
+	Final *multiset.Multiset
+}
+
+// ParallelTime returns the run length in units of "parallel time":
+// interactions divided by population size, the standard measure (§1).
+func (r *Result) ParallelTime() float64 {
+	m := r.Final.Size()
+	if m == 0 {
+		return 0
+	}
+	return float64(r.Steps) / float64(m)
+}
+
+// Run executes p from configuration c (mutated in place) under s until a
+// stabilisation criterion is met.
+func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Options) (*Result, error) {
+	if c.Size() == 0 {
+		return nil, fmt.Errorf("simulate: protocol %q: empty configuration", p.Name)
+	}
+	maxSteps := opts.maxSteps()
+	window := opts.stableWindow()
+	period := opts.quiescencePeriod()
+
+	res := &Result{Final: c}
+	lastOutput := p.OutputOf(c)
+	var stableFor int64
+	res.ConvergenceStep = 0
+
+	for res.Steps < maxSteps {
+		changed := s.Step(c)
+		res.Steps++
+		if changed {
+			res.EffectiveSteps++
+		}
+
+		out := p.OutputOf(c)
+		if out == lastOutput {
+			stableFor++
+		} else {
+			lastOutput = out
+			stableFor = 0
+			res.ConvergenceStep = res.Steps
+		}
+
+		if out != protocol.OutputMixed && stableFor >= window {
+			res.Output = out
+			return res, nil
+		}
+
+		if res.Steps%period == 0 {
+			if len(p.EnabledTransitions(c)) == 0 {
+				res.Output = out
+				res.Quiescent = true
+				return res, nil
+			}
+		}
+	}
+	res.Output = p.OutputOf(c)
+	return res, fmt.Errorf("%w (protocol %q, %d steps, output %v)",
+		ErrBudgetExhausted, p.Name, res.Steps, res.Output)
+}
+
+// RunInput is a convenience wrapper: it builds the initial configuration
+// from input counts, runs under the requested scheduler, and returns the
+// result.
+func RunInput(p *protocol.Protocol, inputCounts []int64, s sched.Scheduler, opts Options) (*Result, error) {
+	c, err := p.InitialConfig(inputCounts...)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p, c, s, opts)
+}
+
+// ConvergenceStats summarises repeated runs of the same input.
+type ConvergenceStats struct {
+	Runs          int
+	WrongOutputs  int
+	MeanSteps     float64
+	MeanParallel  float64
+	MaxSteps      int64
+	MeanEffective float64
+}
+
+// MeasureConvergence runs the protocol repeatedly from the same input under
+// fresh RandomPair schedulers and aggregates interaction counts. expected is
+// the output each run should stabilise to.
+func MeasureConvergence(p *protocol.Protocol, inputCounts []int64, expected bool, runs int, seed int64, opts Options) (*ConvergenceStats, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("simulate: runs must be positive, got %d", runs)
+	}
+	stats := &ConvergenceStats{Runs: runs}
+	var totalSteps, totalEffective int64
+	var totalParallel float64
+	for i := 0; i < runs; i++ {
+		rng := sched.NewRand(seed + int64(i))
+		s := sched.NewRandomPair(p, rng)
+		res, err := RunInput(p, inputCounts, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		want := protocol.OutputFalse
+		if expected {
+			want = protocol.OutputTrue
+		}
+		if res.Output != want {
+			stats.WrongOutputs++
+		}
+		totalSteps += res.Steps
+		totalEffective += res.EffectiveSteps
+		totalParallel += res.ParallelTime()
+		if res.Steps > stats.MaxSteps {
+			stats.MaxSteps = res.Steps
+		}
+	}
+	stats.MeanSteps = float64(totalSteps) / float64(runs)
+	stats.MeanEffective = float64(totalEffective) / float64(runs)
+	stats.MeanParallel = totalParallel / float64(runs)
+	return stats, nil
+}
+
+// MeasureConvergenceSamples is MeasureConvergence returning the per-run
+// interaction counts, so callers can compute full statistics with
+// Summarise (confidence intervals, medians) rather than only means.
+func MeasureConvergenceSamples(p *protocol.Protocol, inputCounts []int64, runs int, seed int64, opts Options) ([]float64, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("simulate: runs must be positive, got %d", runs)
+	}
+	samples := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		rng := sched.NewRand(seed + int64(i))
+		s := sched.NewRandomPair(p, rng)
+		res, err := RunInput(p, inputCounts, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		samples = append(samples, float64(res.Steps))
+	}
+	return samples, nil
+}

@@ -1,0 +1,192 @@
+package simulate
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/sched"
+)
+
+func epidemic(t *testing.T) *protocol.Protocol {
+	t.Helper()
+	b := protocol.NewBuilder("epidemic")
+	b.Input("I", "S")
+	b.Transition("I", "S", "I", "I")
+	b.Transition("S", "I", "I", "I")
+	b.Accepting("I")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func majority(t *testing.T) *protocol.Protocol {
+	t.Helper()
+	b := protocol.NewBuilder("majority")
+	b.Input("X", "Y")
+	b.Transition("X", "Y", "x", "x")
+	b.Transition("X", "y", "X", "x")
+	b.Transition("Y", "x", "Y", "y")
+	b.Transition("x", "y", "x", "x")
+	b.Accepting("X", "x")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunEpidemicQuiescent(t *testing.T) {
+	p := epidemic(t)
+	c, _ := p.InitialConfig(1, 29)
+	s := sched.NewRandomPair(p, sched.NewRand(1))
+	res, err := Run(p, c, s, Options{MaxSteps: 1_000_000, QuiescencePeriod: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != protocol.OutputTrue {
+		t.Fatalf("output = %v, want true", res.Output)
+	}
+	if !res.Quiescent {
+		t.Fatal("epidemic should reach definite quiescence")
+	}
+	if res.Final.Count(p.StateIndex("I")) != 30 {
+		t.Fatalf("final config %v", res.Final.Format(p.States))
+	}
+	if res.EffectiveSteps != 29 {
+		t.Fatalf("EffectiveSteps = %d, want 29 infections", res.EffectiveSteps)
+	}
+}
+
+func TestRunMajorityBothDirections(t *testing.T) {
+	p := majority(t)
+	cases := []struct {
+		x, y int64
+		want protocol.Output
+	}{
+		{10, 5, protocol.OutputTrue},
+		{5, 10, protocol.OutputFalse},
+		{7, 7, protocol.OutputTrue}, // tie counts as x ≥ y
+	}
+	for _, tc := range cases {
+		s := sched.NewRandomPair(p, sched.NewRand(tc.x*100+tc.y))
+		res, err := RunInput(p, []int64{tc.x, tc.y}, s, Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("x=%d y=%d: %v", tc.x, tc.y, err)
+		}
+		if res.Output != tc.want {
+			t.Fatalf("x=%d y=%d: output %v, want %v", tc.x, tc.y, res.Output, tc.want)
+		}
+	}
+}
+
+func TestRunTransitionFairScheduler(t *testing.T) {
+	p := majority(t)
+	c, _ := p.InitialConfig(6, 3)
+	s := sched.NewTransitionFair(p, sched.NewRand(2))
+	res, err := Run(p, c, s, Options{MaxSteps: 100_000, QuiescencePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != protocol.OutputTrue {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestRunRejectsEmptyConfig(t *testing.T) {
+	p := epidemic(t)
+	c := p.NewConfig()
+	s := sched.NewRandomPair(p, sched.NewRand(3))
+	if _, err := Run(p, c, s, Options{}); err == nil {
+		t.Fatal("Run accepted an empty configuration")
+	}
+}
+
+func TestRunBudgetExhausted(t *testing.T) {
+	// An oscillating protocol never stabilises: a ↔ b flip-flop.
+	b := protocol.NewBuilder("flipflop")
+	b.Input("a", "z")
+	b.Transition("a", "z", "b", "z")
+	b.Transition("b", "z", "a", "z")
+	b.Accepting("a")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.InitialConfig(1, 1)
+	s := sched.NewTransitionFair(p, sched.NewRand(4))
+	_, err = Run(p, c, s, Options{MaxSteps: 2_000, StableWindow: 100_000})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestParallelTime(t *testing.T) {
+	p := epidemic(t)
+	c, _ := p.InitialConfig(1, 9)
+	s := sched.NewRandomPair(p, sched.NewRand(5))
+	res, err := Run(p, c, s, Options{MaxSteps: 100_000, QuiescencePeriod: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ParallelTime(); got != float64(res.Steps)/10 {
+		t.Fatalf("ParallelTime = %v, want %v", got, float64(res.Steps)/10)
+	}
+}
+
+func TestMeasureConvergence(t *testing.T) {
+	p := majority(t)
+	stats, err := MeasureConvergence(p, []int64{8, 4}, true, 5, 7, Options{MaxSteps: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 5 {
+		t.Fatalf("Runs = %d", stats.Runs)
+	}
+	if stats.WrongOutputs != 0 {
+		t.Fatalf("WrongOutputs = %d, want 0", stats.WrongOutputs)
+	}
+	if stats.MeanSteps <= 0 || stats.MaxSteps <= 0 {
+		t.Fatalf("degenerate stats %+v", stats)
+	}
+	if stats.MeanEffective > stats.MeanSteps {
+		t.Fatalf("effective steps exceed total steps: %+v", stats)
+	}
+}
+
+func TestMeasureConvergenceCountsWrongOutputs(t *testing.T) {
+	p := majority(t)
+	// Expect the wrong answer: every run must be counted as wrong.
+	stats, err := MeasureConvergence(p, []int64{8, 2}, false, 3, 11, Options{MaxSteps: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WrongOutputs != 3 {
+		t.Fatalf("WrongOutputs = %d, want 3", stats.WrongOutputs)
+	}
+}
+
+func TestMeasureConvergenceValidatesRuns(t *testing.T) {
+	p := majority(t)
+	if _, err := MeasureConvergence(p, []int64{1, 1}, true, 0, 1, Options{}); err == nil {
+		t.Fatal("accepted runs = 0")
+	}
+}
+
+func TestConvergenceStepTracksLastOutputChange(t *testing.T) {
+	p := epidemic(t)
+	c, _ := p.InitialConfig(1, 19)
+	s := sched.NewRandomPair(p, sched.NewRand(13))
+	res, err := Run(p, c, s, Options{MaxSteps: 1_000_000, QuiescencePeriod: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output flips from mixed to true at the final infection; the
+	// convergence step must be no later than the total step count and
+	// positive (the initial configuration is mixed).
+	if res.ConvergenceStep <= 0 || res.ConvergenceStep > res.Steps {
+		t.Fatalf("ConvergenceStep = %d of %d", res.ConvergenceStep, res.Steps)
+	}
+}

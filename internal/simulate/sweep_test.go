@@ -1,0 +1,109 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/sched"
+)
+
+func buildEpidemic(t *testing.T) *protocol.Protocol {
+	t.Helper()
+	b := protocol.NewBuilder("epidemic")
+	b.Input("I", "S")
+	b.Transition("I", "S", "I", "I")
+	b.Transition("S", "I", "I", "I")
+	b.Accepting("I")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	p := buildEpidemic(t)
+	inputs := [][]int64{{1, 7}, {1, 15}, {1, 31}, {1, 63}}
+	expected := func([]int64) bool { return true }
+	opts := Options{MaxSteps: 50_000_000, QuiescencePeriod: 32}
+
+	seq := Sweep(p, inputs, expected, 3, 11, 1, opts)
+	par := Sweep(p, inputs, expected, 3, 11, 4, opts)
+	if len(seq) != len(par) {
+		t.Fatal("length mismatch")
+	}
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("point %d errored: %v / %v", i, seq[i].Err, par[i].Err)
+		}
+		// Same seeds → identical statistics regardless of worker count.
+		if seq[i].Stats.MeanSteps != par[i].Stats.MeanSteps {
+			t.Fatalf("point %d: sequential %.0f vs parallel %.0f mean steps",
+				i, seq[i].Stats.MeanSteps, par[i].Stats.MeanSteps)
+		}
+	}
+	// The sweep shape: interactions grow with population size.
+	if seq[len(seq)-1].Stats.MeanSteps <= seq[0].Stats.MeanSteps {
+		t.Fatalf("mean interactions did not grow with m: %v vs %v",
+			seq[0].Stats.MeanSteps, seq[len(seq)-1].Stats.MeanSteps)
+	}
+}
+
+func TestSweepRecordsPerPointErrors(t *testing.T) {
+	p := buildEpidemic(t)
+	// A budget of 1 step cannot converge: every point must report an error
+	// without failing the others.
+	inputs := [][]int64{{1, 3}}
+	points := Sweep(p, inputs, func([]int64) bool { return true }, 1, 1, 2,
+		Options{MaxSteps: 1, StableWindow: 100})
+	if points[0].Err == nil {
+		t.Fatal("expected a budget error")
+	}
+}
+
+func TestRunTracedSamples(t *testing.T) {
+	p := buildEpidemic(t)
+	s := sched.NewRandomPair(p, sched.NewRand(5))
+	res, trace, err := RunTraced(p, []int64{1, 49}, s, 50, Options{
+		MaxSteps: 10_000_000, QuiescencePeriod: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != protocol.OutputTrue {
+		t.Fatalf("output %v", res.Output)
+	}
+	if len(trace.Steps) == 0 || len(trace.Steps) != len(trace.Accepting) {
+		t.Fatalf("trace malformed: %v", trace)
+	}
+	// Accepting counts must be monotone for the one-way epidemic and end
+	// at the full population.
+	for i := 1; i < len(trace.Accepting); i++ {
+		if trace.Accepting[i] < trace.Accepting[i-1] {
+			t.Fatalf("epidemic acceptance decreased at sample %d", i)
+		}
+	}
+	if trace.Population != 50 {
+		t.Fatalf("population %d", trace.Population)
+	}
+	if got := trace.Accepting[len(trace.Accepting)-1]; got != 50 {
+		t.Fatalf("final accepting count %d, want 50", got)
+	}
+	if trace.String() == "" {
+		t.Fatal("empty trace description")
+	}
+}
+
+func TestRunTracedPeriodClamped(t *testing.T) {
+	p := buildEpidemic(t)
+	s := sched.NewRandomPair(p, sched.NewRand(6))
+	_, trace, err := RunTraced(p, []int64{1, 4}, s, 0, Options{
+		MaxSteps: 1_000_000, QuiescencePeriod: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Period != 1 {
+		t.Fatalf("period %d, want clamped to 1", trace.Period)
+	}
+}
