@@ -13,10 +13,18 @@
 //	E10 Lemma 15   → BenchmarkLeaderElection
 //	E11 Theorem 2  → BenchmarkTheorem2Robustness
 //	E12 §1         → BenchmarkConvergence
+//
+// The scheduler-throughput benchmarks (BenchmarkRandomPairStep,
+// BenchmarkBatchStepN, BenchmarkMeasureConvergence) compare the per-step
+// uniform random-pair scheduler against the batched fast path on a
+// null-interaction-dominated protocol — the regime of every converted
+// machine, where a single instruction-pointer agent makes all but Θ(1/m)
+// of interactions null.
 package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
@@ -28,6 +36,7 @@ import (
 	"repro/internal/multiset"
 	"repro/internal/popmachine"
 	"repro/internal/popprog"
+	"repro/internal/protocol"
 	"repro/internal/sched"
 	"repro/internal/simulate"
 )
@@ -281,6 +290,103 @@ func BenchmarkTheorem2Robustness(b *testing.B) {
 		if res.Consensus().String() != "true" {
 			b.Fatal("the 1-aware baseline should be fooled")
 		}
+	}
+}
+
+// benchChain builds a null-interaction-dominated protocol with support
+// size k+1: a single leader L cycles each follower F_i to F_{i+1}; any pair
+// of followers is null, so with one leader among m agents only ≈ 2/m of
+// ordered pairs are reactive — the same shape as a converted machine's
+// instruction-pointer agent.
+func benchChain(b *testing.B, k int) (*protocol.Protocol, *multiset.Multiset) {
+	b.Helper()
+	pb := protocol.NewBuilder(fmt.Sprintf("chain%d", k))
+	followers := make([]string, k)
+	for i := range followers {
+		followers[i] = fmt.Sprintf("F%d", i)
+	}
+	pb.Input(append([]string{"L"}, followers...)...)
+	for i := range followers {
+		pb.Transition("L", followers[i], "L", followers[(i+1)%k])
+	}
+	pb.Accepting("L")
+	p, err := pb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := make([]int64, k+1)
+	counts[0] = 1 // one leader
+	for i := 1; i <= k; i++ {
+		counts[i] = 8
+	}
+	c, err := p.InitialConfig(counts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, c
+}
+
+// BenchmarkRandomPairStep is the per-step baseline: one uniform random-pair
+// interaction per iteration, across support sizes.
+func BenchmarkRandomPairStep(b *testing.B) {
+	for _, k := range []int{4, 64, 1024} {
+		b.Run(fmt.Sprintf("support=%d", k+1), func(b *testing.B) {
+			p, c := benchChain(b, k)
+			s := sched.NewRandomPair(p, sched.NewRand(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(c)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/interaction")
+		})
+	}
+}
+
+// BenchmarkBatchStepN drives the same protocols through the batched fast
+// path. Compare its ns/interaction against BenchmarkRandomPairStep's: on
+// the null-dominated chain the geometric null-skip should win by well over
+// the 5× the acceptance bar asks for.
+func BenchmarkBatchStepN(b *testing.B) {
+	const chunk = 1 << 14
+	for _, k := range []int{4, 64, 1024} {
+		b.Run(fmt.Sprintf("support=%d", k+1), func(b *testing.B) {
+			p, c := benchChain(b, k)
+			s := sched.NewBatchRandomPair(p, sched.NewRand(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepN(c, chunk)
+			}
+			b.ReportMetric(
+				float64(b.Elapsed().Nanoseconds())/(float64(b.N)*chunk), "ns/interaction")
+		})
+	}
+}
+
+// BenchmarkMeasureConvergence measures the run-level worker pool: the same
+// batched majority measurement, sequential vs one worker per CPU. The
+// results are bit-identical either way; only the wall clock moves.
+func BenchmarkMeasureConvergence(b *testing.B) {
+	maj, err := baseline.Majority()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		ws = append(ws, n)
+	}
+	for _, w := range ws {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := simulate.MeasureConvergence(maj, []int64{65, 64}, true, 8, 1,
+					simulate.Options{MaxSteps: 100_000_000, BatchSize: 256, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	ppexperiments [-markdown] [-quick] [-seed N]
+//	ppexperiments [-markdown] [-quick] [-seed N] [-batch N] [-workers W]
 //
 // -quick shrinks every sweep to its smallest meaningful size (useful for
 // smoke tests); -markdown emits the tables in the format EXPERIMENTS.md
-// embeds.
+// embeds. -batch and -workers route the convergence experiment through the
+// batched fast-path scheduler and a run-level worker pool.
 package main
 
 import (
@@ -29,6 +30,10 @@ func run() error {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	quick := flag.Bool("quick", false, "small sweeps for a fast smoke run")
 	seed := flag.Int64("seed", 1, "seed for randomised experiments")
+	batch := flag.Int64("batch", 0,
+		"batched fast-path chunk size for the convergence experiment (0 = per-step)")
+	workers := flag.Int("workers", 1,
+		"worker goroutines for the convergence experiment's runs")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed}
@@ -45,6 +50,8 @@ func run() error {
 			Seed:              *seed,
 		}
 	}
+	cfg.ConvergenceBatch = *batch
+	cfg.ConvergenceWorkers = *workers
 
 	tables, err := experiments.All(cfg)
 	if err != nil {

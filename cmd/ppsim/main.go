@@ -12,6 +12,10 @@
 //
 // Protocol targets (majority, unary:k, binary:j, remainder:m) run under the
 // uniform random-pair scheduler and report interactions and parallel time.
+// -batch N enables the batched fast-path scheduler (distribution-preserving
+// null-interaction skipping); -runs R repeats the run R times with seeds
+// seed..seed+R-1 and reports convergence summary statistics, optionally in
+// parallel with -workers W (results are identical for any worker count).
 // Program targets (figure1, czerner:n, equality:n, or a .pop file given
 // with -program) run the population-program interpreter with a seeded
 // random oracle and report the stabilised output flag, steps and restarts.
@@ -47,7 +51,11 @@ func run() error {
 	input := flag.String("input", "", "comma-separated input counts (protocols) or a total (programs)")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	budget := flag.Int64("budget", 0, "step budget (0 = default)")
-	scheduler := flag.String("scheduler", "pair", "protocol scheduler: pair | fair")
+	scheduler := flag.String("scheduler", "pair", "protocol scheduler: pair | batch | fair")
+	batch := flag.Int64("batch", 0,
+		"batched fast-path chunk size for protocol targets (0 = per-step; implies -scheduler batch when set)")
+	runs := flag.Int("runs", 1, "repeat protocol runs this many times (seeds seed..seed+runs-1) and report summary statistics")
+	workers := flag.Int("workers", 1, "worker goroutines for -runs > 1 (results are identical for any worker count)")
 	flag.Parse()
 
 	if *input == "" {
@@ -56,6 +64,14 @@ func run() error {
 	counts, err := parseCounts(*input)
 	if err != nil {
 		return err
+	}
+	so := simOptions{
+		scheduler: *scheduler,
+		seed:      *seed,
+		budget:    *budget,
+		batch:     *batch,
+		runs:      *runs,
+		workers:   *workers,
 	}
 
 	if *programPath != "" {
@@ -86,7 +102,7 @@ func run() error {
 		if len(counts) != 2 {
 			return errors.New("majority needs -input x,y")
 		}
-		return simulateProtocol(p, counts, *scheduler, *seed, *budget)
+		return simulateProtocol(p, counts, so)
 	case "unary":
 		p, err := baseline.UnaryThreshold(param)
 		if err != nil {
@@ -95,7 +111,7 @@ func run() error {
 		if len(counts) != 1 {
 			return errors.New("unary needs -input m")
 		}
-		return simulateProtocol(p, counts, *scheduler, *seed, *budget)
+		return simulateProtocol(p, counts, so)
 	case "binary":
 		p, err := baseline.BinaryThreshold(int(param))
 		if err != nil {
@@ -104,7 +120,7 @@ func run() error {
 		if len(counts) != 1 {
 			return errors.New("binary needs -input m")
 		}
-		return simulateProtocol(p, counts, *scheduler, *seed, *budget)
+		return simulateProtocol(p, counts, so)
 	case "remainder":
 		if param < 1 {
 			return errors.New("remainder needs a positive modulus, e.g. remainder:3")
@@ -116,7 +132,7 @@ func run() error {
 		if len(counts) != 1 {
 			return errors.New("remainder needs -input m")
 		}
-		return simulateProtocol(p, counts, *scheduler, *seed, *budget)
+		return simulateProtocol(p, counts, so)
 	case "figure1":
 		if len(counts) != 1 {
 			return errors.New("figure1 needs -input m")
@@ -171,18 +187,50 @@ func parseCounts(s string) ([]int64, error) {
 	return out, nil
 }
 
-func simulateProtocol(p *protocol.Protocol, counts []int64, scheduler string, seed, budget int64) error {
-	rng := sched.NewRand(seed)
+// simOptions collects the protocol-simulation knobs of the CLI.
+type simOptions struct {
+	scheduler     string
+	seed, budget  int64
+	batch         int64
+	runs, workers int
+}
+
+func simulateProtocol(p *protocol.Protocol, counts []int64, so simOptions) error {
+	if so.batch > 0 && so.scheduler == "pair" {
+		so.scheduler = "batch"
+	}
+	opts := simulate.Options{MaxSteps: so.budget, BatchSize: so.batch, Workers: so.workers}
+	if so.runs > 1 {
+		if so.scheduler == "fair" {
+			return errors.New("-runs > 1 only supports the pair/batch schedulers")
+		}
+		samples, err := simulate.MeasureConvergenceSamples(p, counts, so.runs, so.seed, opts)
+		if err != nil {
+			return err
+		}
+		var m int64
+		for _, c := range counts {
+			m += c
+		}
+		fmt.Printf("protocol:      %s (%d states, %d transitions)\n",
+			p.Name, p.NumStates(), len(p.Transitions))
+		fmt.Printf("input:         %v (m = %d)\n", counts, m)
+		fmt.Printf("runs:          %d (workers %d, batch %d)\n", so.runs, so.workers, so.batch)
+		fmt.Printf("interactions:  %v\n", simulate.Summarise(samples))
+		return nil
+	}
+	rng := sched.NewRand(so.seed)
 	var s sched.Scheduler
-	switch scheduler {
+	switch so.scheduler {
 	case "pair":
 		s = sched.NewRandomPair(p, rng)
+	case "batch":
+		s = sched.NewBatchRandomPair(p, rng)
 	case "fair":
 		s = sched.NewTransitionFair(p, rng)
 	default:
-		return fmt.Errorf("unknown scheduler %q", scheduler)
+		return fmt.Errorf("unknown scheduler %q", so.scheduler)
 	}
-	opts := simulate.Options{MaxSteps: budget}
 	res, err := simulate.RunInput(p, counts, s, opts)
 	if err != nil {
 		return err

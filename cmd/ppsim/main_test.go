@@ -55,13 +55,36 @@ func TestSimulatePathsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := simulateProtocol(p, []int64{6, 3}, "pair", 1, 0); err != nil {
+	base := simOptions{scheduler: "pair", seed: 1, runs: 1, workers: 1}
+	if err := simulateProtocol(p, []int64{6, 3}, base); err != nil {
 		t.Fatal(err)
 	}
-	if err := simulateProtocol(p, []int64{6, 3}, "fair", 1, 0); err != nil {
+	fair := base
+	fair.scheduler = "fair"
+	if err := simulateProtocol(p, []int64{6, 3}, fair); err != nil {
 		t.Fatal(err)
 	}
-	if err := simulateProtocol(p, []int64{6, 3}, "bogus", 1, 0); err == nil {
+	batched := base
+	batched.batch = 64
+	if err := simulateProtocol(p, []int64{6, 3}, batched); err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.runs = 4
+	multi.workers = 2
+	multi.batch = 32
+	if err := simulateProtocol(p, []int64{6, 3}, multi); err != nil {
+		t.Fatal(err)
+	}
+	multiFair := multi
+	multiFair.scheduler = "fair"
+	multiFair.batch = 0
+	if err := simulateProtocol(p, []int64{6, 3}, multiFair); err == nil {
+		t.Fatal("accepted -runs > 1 with the fair scheduler")
+	}
+	bogus := base
+	bogus.scheduler = "bogus"
+	if err := simulateProtocol(p, []int64{6, 3}, bogus); err == nil {
 		t.Fatal("accepted an unknown scheduler")
 	}
 	if err := simulateProgram(popprog.Figure1Program(), 5, 1, 300_000,

@@ -24,6 +24,13 @@ type Config struct {
 	// (defaults {16, 32, 64, 128} / 5).
 	ConvergenceSizes []int64
 	ConvergenceRuns  int
+	// ConvergenceBatch > 0 routes E12's runs through the batched fast-path
+	// scheduler with that chunk size; 0 (the default) keeps the historical
+	// per-step measurement.
+	ConvergenceBatch int64
+	// ConvergenceWorkers > 1 measures E12's runs on a worker pool. Results
+	// are bit-identical for any worker count; the default is sequential.
+	ConvergenceWorkers int
 	// Seed seeds the randomised experiments.
 	Seed int64
 }
@@ -75,7 +82,8 @@ func All(cfg Config) ([]*Table, error) {
 		}},
 		{"theorem2", Theorem2},
 		{"convergence", func() (*Table, error) {
-			return Convergence(cfg.ConvergenceSizes, cfg.ConvergenceRuns, cfg.Seed)
+			return Convergence(cfg.ConvergenceSizes, cfg.ConvergenceRuns, cfg.Seed,
+				cfg.ConvergenceBatch, cfg.ConvergenceWorkers)
 		}},
 		{"profile", func() (*Table, error) {
 			return ProcedureProfile(2, 10, 2_000_000, cfg.Seed)

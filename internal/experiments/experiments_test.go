@@ -178,7 +178,7 @@ func TestTheorem2RobustnessVerdicts(t *testing.T) {
 }
 
 func TestConvergenceSmall(t *testing.T) {
-	tbl, err := Convergence([]int64{8, 16}, 2, 3)
+	tbl, err := Convergence([]int64{8, 16}, 2, 3, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,6 +188,20 @@ func TestConvergenceSmall(t *testing.T) {
 	for _, row := range tbl.Rows {
 		if row[4] != "0" {
 			t.Fatalf("wrong outputs in convergence run: %v", row)
+		}
+	}
+	// The batched fast path with a worker pool must still decide every run
+	// correctly.
+	fast, err := Convergence([]int64{8, 16}, 2, 3, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Rows) != 4 {
+		t.Fatalf("%d batched rows, want 4", len(fast.Rows))
+	}
+	for _, row := range fast.Rows {
+		if row[4] != "0" {
+			t.Fatalf("wrong outputs in batched convergence run: %v", row)
 		}
 	}
 }

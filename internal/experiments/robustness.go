@@ -134,7 +134,13 @@ func adversarialPlacement(c *core.Construction, total int64) *multiset.Multiset 
 // unary threshold are compared across population sizes; the shape to
 // reproduce is super-linear interaction counts (≈ m log m to m²), i.e.
 // Θ(polylog)–Θ(m) parallel time.
-func Convergence(sizes []int64, runs int, seed int64) (*Table, error) {
+//
+// batch > 0 routes every run through the batched fast-path scheduler
+// (distribution-preserving; convergence steps are then reported at batch
+// granularity), and workers > 1 measures the runs on a worker pool —
+// results are bit-identical for any worker count. batch = 0, workers ≤ 1
+// reproduces the historical per-step, sequential measurement exactly.
+func Convergence(sizes []int64, runs int, seed int64, batch int64, workers int) (*Table, error) {
 	t := &Table{
 		ID:    "E12 (§1)",
 		Title: "convergence cost under uniform random pairing",
@@ -142,6 +148,7 @@ func Convergence(sizes []int64, runs int, seed int64) (*Table, error) {
 			"protocol", "m", "mean interactions", "mean parallel time", "wrong outputs",
 		},
 	}
+	opts := simulate.Options{MaxSteps: 200_000_000, BatchSize: batch, Workers: workers}
 	maj, err := baseline.Majority()
 	if err != nil {
 		return nil, err
@@ -149,8 +156,7 @@ func Convergence(sizes []int64, runs int, seed int64) (*Table, error) {
 	for _, m := range sizes {
 		x := m/2 + 1
 		y := m - x
-		stats, err := simulate.MeasureConvergence(maj, []int64{x, y}, true, runs, seed,
-			simulate.Options{MaxSteps: 200_000_000})
+		stats, err := simulate.MeasureConvergence(maj, []int64{x, y}, true, runs, seed, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -162,8 +168,7 @@ func Convergence(sizes []int64, runs int, seed int64) (*Table, error) {
 		return nil, err
 	}
 	for _, m := range sizes {
-		stats, err := simulate.MeasureConvergence(unary, []int64{m}, m >= 8, runs, seed+1,
-			simulate.Options{MaxSteps: 200_000_000})
+		stats, err := simulate.MeasureConvergence(unary, []int64{m}, m >= 8, runs, seed+1, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -33,6 +33,15 @@ type Scheduler interface {
 	Step(c *multiset.Multiset) bool
 }
 
+// source is the randomness a scheduler consumes. *rand.Rand satisfies it;
+// the equivalence tests substitute scripted sources to enumerate every
+// possible outcome of a single scheduling decision exactly.
+type source interface {
+	Int63n(n int64) int64
+	Intn(n int) int
+	Float64() float64
+}
+
 // NewRand returns a deterministic seeded PRNG. All experiments thread their
 // randomness through explicit *rand.Rand values so runs are reproducible.
 func NewRand(seed int64) *rand.Rand {
@@ -48,25 +57,38 @@ type pairKey struct{ q, r int }
 // otherwise the step is a null interaction.
 type RandomPair struct {
 	p     *protocol.Protocol
-	rng   *rand.Rand
+	rng   source
 	index map[pairKey][]protocol.Transition
+	// onFire, when non-nil, observes every non-silent transition fired.
+	// The equivalence tests use it to collect firing frequencies.
+	onFire func(protocol.Transition)
 }
 
 var _ Scheduler = (*RandomPair)(nil)
 
 // NewRandomPair builds a RandomPair scheduler for protocol p.
 func NewRandomPair(p *protocol.Protocol, rng *rand.Rand) *RandomPair {
+	return newRandomPair(p, rng)
+}
+
+func newRandomPair(p *protocol.Protocol, rng source) *RandomPair {
+	return &RandomPair{p: p, rng: rng, index: pairIndex(p)}
+}
+
+// pairIndex groups a protocol's transitions by ordered (initiator,
+// responder) state pair.
+func pairIndex(p *protocol.Protocol) map[pairKey][]protocol.Transition {
 	index := make(map[pairKey][]protocol.Transition)
 	for _, t := range p.Transitions {
 		k := pairKey{t.Q, t.R}
 		index[k] = append(index[k], t)
 	}
-	return &RandomPair{p: p, rng: rng, index: index}
+	return index
 }
 
 // sampleAgent picks an agent uniformly from c, returning its state index.
 // It panics if c is empty.
-func sampleAgent(rng *rand.Rand, c *multiset.Multiset, exclude int, excludeOne bool) int {
+func sampleAgent(rng source, c *multiset.Multiset, exclude int, excludeOne bool) int {
 	size := c.Size()
 	if excludeOne {
 		size--
@@ -101,6 +123,9 @@ func (s *RandomPair) Step(c *multiset.Multiset) bool {
 		return false
 	}
 	s.p.Apply(c, t)
+	if s.onFire != nil {
+		s.onFire(t)
+	}
 	return true
 }
 

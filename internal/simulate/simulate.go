@@ -15,6 +15,7 @@ package simulate
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/multiset"
 	"repro/internal/protocol"
@@ -38,6 +39,22 @@ type Options struct {
 	// QuiescencePeriod steps the runner scans for enabled transitions and
 	// stops if there are none. Zero means 1,000.
 	QuiescencePeriod int64
+	// BatchSize enables the batched fast path: when positive and the
+	// scheduler implements sched.BatchScheduler, Run advances the
+	// configuration in batches of up to BatchSize steps (aligned so every
+	// QuiescencePeriod boundary is still observed) and evaluates the
+	// stable-window heuristic at batch boundaries instead of every step.
+	// Batches are distributionally equivalent to per-step execution; only
+	// the granularity of the stabilisation checks changes, so a run may
+	// overshoot the exact step at which the per-step runner would have
+	// stopped by less than one batch. Zero disables batching.
+	BatchSize int64
+	// Workers parallelises MeasureConvergence and
+	// MeasureConvergenceSamples across runs. Each run already draws its
+	// PRNG independently from seed+i, and per-run results are aggregated
+	// in run order, so statistics are bit-identical for every worker
+	// count. Values ≤ 1 run sequentially.
+	Workers int
 }
 
 func (o Options) maxSteps() int64 {
@@ -61,6 +78,13 @@ func (o Options) quiescencePeriod() int64 {
 	return o.QuiescencePeriod
 }
 
+func (o Options) workers() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
+}
+
 // Result describes a completed run.
 type Result struct {
 	// Output is the consensus output at the end of the run.
@@ -72,8 +96,14 @@ type Result struct {
 	// Quiescent reports whether the run ended with no enabled transition
 	// (definite stabilisation) rather than by the heuristic window.
 	Quiescent bool
-	// ConvergenceStep is the first step after which the output never
-	// changed for the remainder of the run.
+	// ConvergenceStep is the first step of the final stable stretch: the
+	// step after which the output never changed for the remainder of the
+	// run. For runs that end via the quiescence check without the output
+	// ever changing, it is the last effective step — the point at which
+	// the configuration itself froze — since before that step the run had
+	// not yet stabilised in the paper's configuration-level sense even
+	// though the output happened to be constant. Under the batched fast
+	// path it is reported at batch-boundary granularity.
 	ConvergenceStep int64
 	// Final is the final configuration.
 	Final *multiset.Multiset
@@ -91,9 +121,17 @@ func (r *Result) ParallelTime() float64 {
 
 // Run executes p from configuration c (mutated in place) under s until a
 // stabilisation criterion is met.
+//
+// When opts.BatchSize is positive and s implements sched.BatchScheduler,
+// the batched fast path drives the scheduler through StepN instead of
+// stepping one interaction at a time; see Options.BatchSize for the exact
+// semantics preserved.
 func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Options) (*Result, error) {
 	if c.Size() == 0 {
 		return nil, fmt.Errorf("simulate: protocol %q: empty configuration", p.Name)
+	}
+	if bs, ok := s.(sched.BatchScheduler); ok && opts.BatchSize > 0 {
+		return runBatched(p, c, bs, opts)
 	}
 	maxSteps := opts.maxSteps()
 	window := opts.stableWindow()
@@ -101,14 +139,15 @@ func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Opt
 
 	res := &Result{Final: c}
 	lastOutput := p.OutputOf(c)
-	var stableFor int64
-	res.ConvergenceStep = 0
+	var stableFor, lastEffective int64
+	outputChanged := false
 
 	for res.Steps < maxSteps {
 		changed := s.Step(c)
 		res.Steps++
 		if changed {
 			res.EffectiveSteps++
+			lastEffective = res.Steps
 		}
 
 		out := p.OutputOf(c)
@@ -118,6 +157,7 @@ func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Opt
 			lastOutput = out
 			stableFor = 0
 			res.ConvergenceStep = res.Steps
+			outputChanged = true
 		}
 
 		if out != protocol.OutputMixed && stableFor >= window {
@@ -129,6 +169,80 @@ func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Opt
 			if len(p.EnabledTransitions(c)) == 0 {
 				res.Output = out
 				res.Quiescent = true
+				if !outputChanged {
+					// The output held its initial value throughout, but
+					// the configuration kept evolving until its last
+					// effective step; reporting 0 would under-report the
+					// convergence point of a run that was still actively
+					// computing.
+					res.ConvergenceStep = lastEffective
+				}
+				return res, nil
+			}
+		}
+	}
+	res.Output = p.OutputOf(c)
+	return res, fmt.Errorf("%w (protocol %q, %d steps, output %v)",
+		ErrBudgetExhausted, p.Name, res.Steps, res.Output)
+}
+
+// runBatched is Run's batched fast path: it advances the configuration in
+// chunks of up to opts.BatchSize steps through StepN, truncating each chunk
+// so that every QuiescencePeriod boundary is still observed, and evaluates
+// the output heuristics at chunk boundaries. A chunk with zero effective
+// steps cannot have changed the output, so the stable-window accounting is
+// exact across it; a chunk with effective steps contributes its full length
+// to the window only when the output at both ends agrees (mid-batch output
+// oscillation within one chunk is not observed — the documented
+// batch-boundary semantics).
+func runBatched(p *protocol.Protocol, c *multiset.Multiset, s sched.BatchScheduler, opts Options) (*Result, error) {
+	maxSteps := opts.maxSteps()
+	window := opts.stableWindow()
+	period := opts.quiescencePeriod()
+	batch := opts.BatchSize
+
+	res := &Result{Final: c}
+	lastOutput := p.OutputOf(c)
+	var stableFor, lastEffective int64
+	outputChanged := false
+
+	for res.Steps < maxSteps {
+		n := batch
+		if r := period - res.Steps%period; r < n {
+			n = r
+		}
+		if r := maxSteps - res.Steps; r < n {
+			n = r
+		}
+		eff := s.StepN(c, n)
+		res.Steps += n
+		res.EffectiveSteps += eff
+		if eff > 0 {
+			lastEffective = res.Steps
+		}
+
+		out := p.OutputOf(c)
+		if out == lastOutput {
+			stableFor += n
+		} else {
+			lastOutput = out
+			stableFor = 0
+			res.ConvergenceStep = res.Steps
+			outputChanged = true
+		}
+
+		if out != protocol.OutputMixed && stableFor >= window {
+			res.Output = out
+			return res, nil
+		}
+
+		if res.Steps%period == 0 {
+			if len(p.EnabledTransitions(c)) == 0 {
+				res.Output = out
+				res.Quiescent = true
+				if !outputChanged {
+					res.ConvergenceStep = lastEffective
+				}
 				return res, nil
 			}
 		}
@@ -159,27 +273,89 @@ type ConvergenceStats struct {
 	MeanEffective float64
 }
 
-// MeasureConvergence runs the protocol repeatedly from the same input under
-// fresh RandomPair schedulers and aggregates interaction counts. expected is
-// the output each run should stabilise to.
-func MeasureConvergence(p *protocol.Protocol, inputCounts []int64, expected bool, runs int, seed int64, opts Options) (*ConvergenceStats, error) {
+// convergenceRun performs the i-th repeated run of a measurement: a fresh
+// scheduler seeded with seed+i (the batched one when opts.BatchSize asks
+// for it) over a fresh initial configuration. Runs are independent, which
+// is what lets the measurement functions fan them out over workers without
+// changing any statistic.
+func convergenceRun(p *protocol.Protocol, inputCounts []int64, i int, seed int64, opts Options) (*Result, error) {
+	rng := sched.NewRand(seed + int64(i))
+	var s sched.Scheduler
+	if opts.BatchSize > 0 {
+		s = sched.NewBatchRandomPair(p, rng)
+	} else {
+		s = sched.NewRandomPair(p, rng)
+	}
+	return RunInput(p, inputCounts, s, opts)
+}
+
+// measureRuns executes runs independent convergence runs, fanning them out
+// over opts.Workers goroutines, and returns the per-run results in run
+// order. The first error in run order is returned (later runs may have
+// executed, unlike the sequential path, but the returned error and all
+// results are identical for every worker count).
+func measureRuns(p *protocol.Protocol, inputCounts []int64, runs int, seed int64, opts Options) ([]*Result, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("simulate: runs must be positive, got %d", runs)
+	}
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	workers := opts.workers()
+	if workers > runs {
+		workers = runs
+	}
+	if workers == 1 {
+		for i := 0; i < runs; i++ {
+			results[i], errs[i] = convergenceRun(p, inputCounts, i, seed, opts)
+			if errs[i] != nil {
+				break // match the sequential short-circuit exactly
+			}
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = convergenceRun(p, inputCounts, i, seed, opts)
+				}
+			}()
+		}
+		for i := 0; i < runs; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// MeasureConvergence runs the protocol repeatedly from the same input under
+// fresh RandomPair schedulers and aggregates interaction counts. expected
+// is the output each run should stabilise to. Runs fan out over
+// opts.Workers goroutines and take the batched fast path when
+// opts.BatchSize is set; both knobs leave every statistic bit-identical to
+// the sequential per-step execution of the same options.
+func MeasureConvergence(p *protocol.Protocol, inputCounts []int64, expected bool, runs int, seed int64, opts Options) (*ConvergenceStats, error) {
+	results, err := measureRuns(p, inputCounts, runs, seed, opts)
+	if err != nil {
+		return nil, err
 	}
 	stats := &ConvergenceStats{Runs: runs}
 	var totalSteps, totalEffective int64
 	var totalParallel float64
-	for i := 0; i < runs; i++ {
-		rng := sched.NewRand(seed + int64(i))
-		s := sched.NewRandomPair(p, rng)
-		res, err := RunInput(p, inputCounts, s, opts)
-		if err != nil {
-			return nil, fmt.Errorf("run %d: %w", i, err)
-		}
-		want := protocol.OutputFalse
-		if expected {
-			want = protocol.OutputTrue
-		}
+	want := protocol.OutputFalse
+	if expected {
+		want = protocol.OutputTrue
+	}
+	for _, res := range results {
 		if res.Output != want {
 			stats.WrongOutputs++
 		}
@@ -200,17 +376,12 @@ func MeasureConvergence(p *protocol.Protocol, inputCounts []int64, expected bool
 // interaction counts, so callers can compute full statistics with
 // Summarise (confidence intervals, medians) rather than only means.
 func MeasureConvergenceSamples(p *protocol.Protocol, inputCounts []int64, runs int, seed int64, opts Options) ([]float64, error) {
-	if runs <= 0 {
-		return nil, fmt.Errorf("simulate: runs must be positive, got %d", runs)
+	results, err := measureRuns(p, inputCounts, runs, seed, opts)
+	if err != nil {
+		return nil, err
 	}
 	samples := make([]float64, 0, runs)
-	for i := 0; i < runs; i++ {
-		rng := sched.NewRand(seed + int64(i))
-		s := sched.NewRandomPair(p, rng)
-		res, err := RunInput(p, inputCounts, s, opts)
-		if err != nil {
-			return nil, fmt.Errorf("run %d: %w", i, err)
-		}
+	for _, res := range results {
 		samples = append(samples, float64(res.Steps))
 	}
 	return samples, nil

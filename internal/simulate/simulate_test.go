@@ -175,6 +175,186 @@ func TestMeasureConvergenceValidatesRuns(t *testing.T) {
 	}
 }
 
+// TestConvergenceStepQuiescentNoOutputChange is the regression test for
+// the ConvergenceStep accounting fix: a run whose output never changes but
+// whose configuration keeps evolving until quiescence must report the first
+// step of the final stable stretch (the step the configuration froze), not
+// step 0. The "gather" protocol has every state accepting, so the output is
+// constantly true while the 9 b-agents are converted one by one.
+func TestConvergenceStepQuiescentNoOutputChange(t *testing.T) {
+	b := protocol.NewBuilder("gather")
+	b.Input("a", "b")
+	b.Transition("a", "b", "a", "a")
+	b.Accepting("a", "b")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int64{0, 64} {
+		c, _ := p.InitialConfig(1, 9)
+		s := sched.NewBatchRandomPair(p, sched.NewRand(5))
+		res, err := Run(p, c, s, Options{
+			MaxSteps: 1_000_000, StableWindow: 1 << 40,
+			QuiescencePeriod: 10, BatchSize: batch,
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if !res.Quiescent {
+			t.Fatalf("batch=%d: gather must end quiescent", batch)
+		}
+		if res.EffectiveSteps != 9 {
+			t.Fatalf("batch=%d: EffectiveSteps = %d, want 9", batch, res.EffectiveSteps)
+		}
+		// The configuration froze at the 9th conversion, which cannot
+		// happen before step 9; reporting 0 under-reports convergence.
+		if res.ConvergenceStep < 9 || res.ConvergenceStep > res.Steps {
+			t.Fatalf("batch=%d: ConvergenceStep = %d of %d steps, want ≥ 9",
+				batch, res.ConvergenceStep, res.Steps)
+		}
+	}
+}
+
+func TestRunBatchedEpidemicQuiescent(t *testing.T) {
+	p := epidemic(t)
+	c, _ := p.InitialConfig(1, 29)
+	s := sched.NewBatchRandomPair(p, sched.NewRand(1))
+	res, err := Run(p, c, s, Options{
+		MaxSteps: 1_000_000, QuiescencePeriod: 10, BatchSize: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != protocol.OutputTrue {
+		t.Fatalf("output = %v, want true", res.Output)
+	}
+	if !res.Quiescent {
+		t.Fatal("epidemic should reach definite quiescence")
+	}
+	if res.Final.Count(p.StateIndex("I")) != 30 {
+		t.Fatalf("final config %v", res.Final.Format(p.States))
+	}
+	if res.EffectiveSteps != 29 {
+		t.Fatalf("EffectiveSteps = %d, want 29 infections", res.EffectiveSteps)
+	}
+	// Quiescence checks are aligned to period boundaries even when the
+	// batch size is larger than the period.
+	if res.Steps%10 != 0 {
+		t.Fatalf("quiescent return off the period boundary: %d steps", res.Steps)
+	}
+}
+
+func TestRunBatchedMajorityBothDirections(t *testing.T) {
+	p := majority(t)
+	cases := []struct {
+		x, y int64
+		want protocol.Output
+	}{
+		{10, 5, protocol.OutputTrue},
+		{5, 10, protocol.OutputFalse},
+	}
+	for _, tc := range cases {
+		s := sched.NewBatchRandomPair(p, sched.NewRand(tc.x*100+tc.y))
+		res, err := RunInput(p, []int64{tc.x, tc.y}, s, Options{
+			MaxSteps: 5_000_000, BatchSize: 512,
+		})
+		if err != nil {
+			t.Fatalf("x=%d y=%d: %v", tc.x, tc.y, err)
+		}
+		if res.Output != tc.want {
+			t.Fatalf("x=%d y=%d: output %v, want %v", tc.x, tc.y, res.Output, tc.want)
+		}
+	}
+}
+
+func TestRunBatchedBudgetExhausted(t *testing.T) {
+	b := protocol.NewBuilder("flipflop")
+	b.Input("a", "z")
+	b.Transition("a", "z", "b", "z")
+	b.Transition("b", "z", "a", "z")
+	b.Accepting("a")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.InitialConfig(1, 1)
+	s := sched.NewBatchRandomPair(p, sched.NewRand(4))
+	res, err := Run(p, c, s, Options{
+		MaxSteps: 2_000, StableWindow: 100_000, BatchSize: 300,
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res.Steps != 2_000 {
+		t.Fatalf("budget-exhausted run took %d steps, want exactly 2000", res.Steps)
+	}
+}
+
+// TestMeasureConvergenceWorkersBitIdentical: the worker pool must not
+// change a single statistic — per-run RNGs derive from seed+i and results
+// aggregate in run order.
+func TestMeasureConvergenceWorkersBitIdentical(t *testing.T) {
+	p := majority(t)
+	for _, batch := range []int64{0, 256} {
+		base := Options{MaxSteps: 5_000_000, BatchSize: batch}
+		seq, err := MeasureConvergence(p, []int64{8, 4}, true, 6, 7, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parOpts := base
+		parOpts.Workers = 4
+		par, err := MeasureConvergence(p, []int64{8, 4}, true, 6, 7, parOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *seq != *par {
+			t.Fatalf("batch=%d: workers changed the statistics:\nseq %+v\npar %+v", batch, seq, par)
+		}
+	}
+}
+
+func TestMeasureConvergenceSamplesWorkersBitIdentical(t *testing.T) {
+	p := majority(t)
+	seq, err := MeasureConvergenceSamples(p, []int64{6, 3}, 5, 3, Options{MaxSteps: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MeasureConvergenceSamples(p, []int64{6, 3}, 5, 3, Options{
+		MaxSteps: 5_000_000, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sample counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestMeasureConvergenceBatchedStatisticsSane: the batched fast path is a
+// different (equivalent) sampler, so step counts differ run by run from the
+// per-step path — but aggregate behaviour must stay in family: every run
+// still converges to the right output.
+func TestMeasureConvergenceBatchedStatisticsSane(t *testing.T) {
+	p := majority(t)
+	stats, err := MeasureConvergence(p, []int64{8, 4}, true, 5, 7, Options{
+		MaxSteps: 5_000_000, BatchSize: 1024, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WrongOutputs != 0 {
+		t.Fatalf("WrongOutputs = %d, want 0", stats.WrongOutputs)
+	}
+	if stats.MeanSteps <= 0 || stats.MeanEffective > stats.MeanSteps {
+		t.Fatalf("degenerate stats %+v", stats)
+	}
+}
+
 func TestConvergenceStepTracksLastOutputChange(t *testing.T) {
 	p := epidemic(t)
 	c, _ := p.InitialConfig(1, 19)

@@ -21,9 +21,12 @@ type SweepPoint struct {
 }
 
 // Sweep runs MeasureConvergence for each input vector, fanning the points
-// out over `workers` goroutines (each point's runs stay sequential so the
-// per-point statistics are reproducible from the seed). It waits for all
-// workers before returning; results are in input order.
+// out over `workers` goroutines. Per-point statistics are reproducible from
+// the seed regardless of worker count; opts.BatchSize and opts.Workers pass
+// through to each point, so a sweep can combine point-level fan-out with
+// the batched scheduler fast path (and, for few points with many runs,
+// run-level fan-out). It waits for all workers before returning; results
+// are in input order.
 func Sweep(p *protocol.Protocol, inputs [][]int64, expected func(in []int64) bool,
 	runs int, seed int64, workers int, opts Options) []SweepPoint {
 	if workers < 1 {
