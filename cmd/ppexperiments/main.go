@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	ppexperiments [-markdown] [-quick] [-seed N] [-batch N] [-workers W]
+//	ppexperiments [-markdown] [-quick] [-seed N] [-batch N] [-workers W] [-explore-workers W]
 //
 // -quick shrinks every sweep to its smallest meaningful size (useful for
 // smoke tests); -markdown emits the tables in the format EXPERIMENTS.md
 // embeds. -batch and -workers route the convergence experiment through the
-// batched fast-path scheduler and a run-level worker pool.
+// batched fast-path scheduler and a run-level worker pool. -explore-workers
+// sets the frontier-expansion worker count of the parallel model checker
+// used by the exhaustive checks (0 = one per CPU); every table is
+// bit-identical for any value.
 package main
 
 import (
@@ -34,6 +37,8 @@ func run() error {
 		"batched fast-path chunk size for the convergence experiment (0 = per-step)")
 	workers := flag.Int("workers", 1,
 		"worker goroutines for the convergence experiment's runs")
+	exploreWorkers := flag.Int("explore-workers", 0,
+		"frontier-expansion workers for the exhaustive model checks (0 = one per CPU)")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed}
@@ -52,6 +57,7 @@ func run() error {
 	}
 	cfg.ConvergenceBatch = *batch
 	cfg.ConvergenceWorkers = *workers
+	cfg.ExploreWorkers = *exploreWorkers
 
 	tables, err := experiments.All(cfg)
 	if err != nil {

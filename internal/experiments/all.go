@@ -31,6 +31,11 @@ type Config struct {
 	// ConvergenceWorkers > 1 measures E12's runs on a worker pool. Results
 	// are bit-identical for any worker count; the default is sequential.
 	ConvergenceWorkers int
+	// ExploreWorkers is the frontier-expansion worker count handed to the
+	// parallel exact model checker for the exhaustive checks (E2's machine
+	// verification, E11's baseline verdicts). Zero means one worker per
+	// available CPU; results are bit-identical for any value.
+	ExploreWorkers int
 	// Seed seeds the randomised experiments.
 	Seed int64
 }
@@ -72,7 +77,9 @@ func All(cfg Config) ([]*Table, error) {
 	}{
 		{"table1", func() (*Table, error) { return Table1(cfg.Table1MaxN) }},
 		{"table1-crossover", func() (*Table, error) { return Table1Crossover(18) }},
-		{"figure1", func() (*Table, error) { return Figure1(cfg.Figure1MaxTotal, cfg.Figure1Exact) }},
+		{"figure1", func() (*Table, error) {
+			return Figure1(cfg.Figure1MaxTotal, cfg.Figure1Exact, cfg.ExploreWorkers)
+		}},
 		{"figure2", Figure2},
 		{"theorem3", func() (*Table, error) { return Theorem3(cfg.Theorem3MaxN, cfg.Theorem3SweepMaxN) }},
 		{"equality", func() (*Table, error) { return Equality(4) }},
@@ -80,7 +87,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"election", func() (*Table, error) {
 			return Election([]int64{1, 4, 16, 48}, cfg.ConvergenceRuns, cfg.Seed)
 		}},
-		{"theorem2", Theorem2},
+		{"theorem2", func() (*Table, error) { return Theorem2(cfg.ExploreWorkers) }},
 		{"convergence", func() (*Table, error) {
 			return Convergence(cfg.ConvergenceSizes, cfg.ConvergenceRuns, cfg.Seed,
 				cfg.ConvergenceBatch, cfg.ConvergenceWorkers)

@@ -86,7 +86,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFigure1DecisionsNoExact(t *testing.T) {
-	tbl, err := Figure1(8, false)
+	tbl, err := Figure1(8, false, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestTheorem2RobustnessVerdicts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow randomised experiment")
 	}
-	tbl, err := Theorem2()
+	tbl, err := Theorem2(2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,8 +14,11 @@ import (
 // Figure1 regenerates the Figure 1 experiment (E2): the example population
 // program deciding 4 ≤ x < 7, decided for every total m both by the
 // program-level interpreter (statistical) and by exhaustive model checking
-// of the compiled machine over every initial placement (exact).
-func Figure1(maxTotal int64, exact bool) (*Table, error) {
+// of the compiled machine over every initial placement (exact). The exact
+// checks run on the parallel exploration engine with exploreWorkers workers
+// (0 = one per CPU); the verdicts and state counts are identical for any
+// worker count.
+func Figure1(maxTotal int64, exact bool, exploreWorkers int) (*Table, error) {
 	t := &Table{
 		ID:      "E2 (Figure 1)",
 		Title:   "the example program decides 4 ≤ x < 7",
@@ -49,8 +52,8 @@ func Figure1(maxTotal int64, exact bool) (*Table, error) {
 					checkErr = err
 					return
 				}
-				r, err := explore.Explore[*popmachine.Config](sys, []*popmachine.Config{cfg},
-					explore.Options{MaxStates: 3_000_000})
+				r, err := explore.ExploreParallel[*popmachine.Config](sys, []*popmachine.Config{cfg},
+					explore.Options{MaxStates: 3_000_000, Workers: exploreWorkers})
 				if err != nil {
 					checkErr = err
 					return

@@ -23,7 +23,11 @@ import (
 // run from configurations with noise planted in arbitrary registers, which
 // by the population-program semantics (§4: "all registers may have
 // arbitrary values") must still decide the total correctly.
-func Theorem2() (*Table, error) {
+//
+// The exact baseline verdicts run on the parallel exploration engine with
+// exploreWorkers workers (0 = one per CPU); verdicts are identical for any
+// worker count.
+func Theorem2(exploreWorkers int) (*Table, error) {
 	t := &Table{
 		ID:    "E11 (Theorem 2)",
 		Title: "robustness: 1-aware baselines vs the almost-self-stabilising construction",
@@ -46,8 +50,8 @@ func Theorem2() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := explore.Explore(explore.NewProtocolSystem(unary),
-		[]*multiset.Multiset{noisy}, explore.Options{})
+	res, err := explore.ExploreParallel(explore.NewProtocolSystem(unary),
+		[]*multiset.Multiset{noisy}, explore.Options{Workers: exploreWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -64,8 +68,8 @@ func Theorem2() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	resB, err := explore.Explore(explore.NewProtocolSystem(binary),
-		[]*multiset.Multiset{noisyB}, explore.Options{})
+	resB, err := explore.ExploreParallel(explore.NewProtocolSystem(binary),
+		[]*multiset.Multiset{noisyB}, explore.Options{Workers: exploreWorkers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,185 @@
+package explore
+
+import (
+	"context"
+	"sync"
+)
+
+// AppendKeySystem is an optional System extension. Systems that can encode a
+// state's unique key directly into a byte buffer let the parallel engine
+// intern states without materialising a string per visited configuration;
+// systems without it fall back to Key. The encoding must identify states
+// exactly as Key does: AppendKey(dst, s) must append bytes equal to Key(s).
+type AppendKeySystem[S any] interface {
+	AppendKey(dst []byte, s S) []byte
+}
+
+// pending records one successor produced by a parallel expansion pass,
+// before the commit pass has resolved it to a dense id.
+type pending[S any] struct {
+	state S
+	key   []byte // copied encoded key; nil when id was resolved during expansion
+	hash  uint64
+	id    int32 // dense id, or -1 if the state was unknown at expansion time
+}
+
+// minExpandChunk is the smallest frontier slice worth handing to its own
+// goroutine; below it the per-level synchronisation outweighs the work, so
+// narrow frontiers (chains, near-deterministic systems) expand inline.
+const minExpandChunk = 64
+
+// ExploreParallel is ExploreContext without cancellation. Like Explore it
+// builds the reachable graph from the initial states and analyses its bottom
+// SCCs, but it expands the BFS frontier on opts.Workers goroutines and
+// interns states through the sharded binary-key interner. The Result is
+// bit-identical to Explore's for every worker count.
+func ExploreParallel[S any](sys System[S], initial []S, opts Options) (*Result, error) {
+	return ExploreContext(context.Background(), sys, initial, opts)
+}
+
+// ExploreContext is the parallel exploration engine: a level-synchronised
+// BFS whose frontier is expanded concurrently, followed by the same
+// sequential Tarjan bottom-SCC analysis as Explore.
+//
+// Determinism: dense state ids are assigned by a single-threaded commit pass
+// that walks each level's discoveries in canonical order — frontier states
+// in ascending id order, successors in the order Successors returned them —
+// which is exactly the discovery order of the sequential FIFO BFS. Edge
+// lists, Tarjan component numbering, outcome order, witness keys and the
+// point at which ErrStateLimit fires are therefore all bit-identical to
+// Explore's, for any worker count. Cancelling ctx (or exceeding its
+// deadline) aborts at the next level barrier with the context's error.
+func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts Options) (*Result, error) {
+	limit := opts.maxStates()
+	workers := opts.workers()
+
+	encode := func(dst []byte, s S) []byte { return append(dst, sys.Key(s)...) }
+	if ak, ok := any(sys).(AppendKeySystem[S]); ok {
+		encode = ak.AppendKey
+	}
+
+	in := newInterner()
+	var states []S
+	var edges [][]int
+
+	// intern assigns the next dense id to an unseen key. Single-threaded:
+	// only the initial scan and the commit pass call it.
+	intern := func(key []byte, h uint64, s S) (int, bool, error) {
+		if id, ok := in.lookup(h, key); ok {
+			return id, false, nil
+		}
+		if len(states) >= limit {
+			return 0, false, errStateLimit(limit)
+		}
+		id := len(states)
+		in.insert(h, key, id)
+		states = append(states, s)
+		edges = append(edges, nil)
+		return id, true, nil
+	}
+
+	var frontier []int
+	var keyBuf []byte
+	for _, s := range initial {
+		keyBuf = encode(keyBuf[:0], s)
+		id, fresh, err := intern(keyBuf, hashKey(keyBuf), s)
+		if err != nil {
+			return nil, err
+		}
+		if fresh {
+			frontier = append(frontier, id)
+		}
+	}
+
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		// Expansion pass: workers read the interner and produce, per
+		// frontier state, its successor records. Writes go to disjoint
+		// perState slots, so the only shared structure is the interner.
+		perState := make([][]pending[S], len(frontier))
+		chunk := (len(frontier) + workers - 1) / workers
+		if chunk < minExpandChunk {
+			chunk = minExpandChunk
+		}
+		if chunk >= len(frontier) {
+			expandRange(ctx, sys, encode, in, states, frontier, perState, 0, len(frontier))
+		} else {
+			var wg sync.WaitGroup
+			for lo := 0; lo < len(frontier); lo += chunk {
+				hi := min(lo+chunk, len(frontier))
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					expandRange(ctx, sys, encode, in, states, frontier, perState, lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		// Commit pass: resolve pending successors to dense ids in canonical
+		// (frontier id, successor index) order — the sequential BFS order.
+		var next []int
+		for i, u := range frontier {
+			recs := perState[i]
+			if len(recs) == 0 {
+				continue
+			}
+			out := make([]int, len(recs))
+			for j := range recs {
+				r := &recs[j]
+				if r.id >= 0 {
+					out[j] = int(r.id)
+					continue
+				}
+				id, fresh, err := intern(r.key, r.hash, r.state)
+				if err != nil {
+					return nil, err
+				}
+				out[j] = id
+				if fresh {
+					next = append(next, id)
+				}
+			}
+			edges[u] = out
+		}
+		frontier = next
+	}
+
+	return analyse(sys, states, edges), nil
+}
+
+// expandRange expands frontier[lo:hi] into perState[lo:hi]. It only reads
+// the interner (resolving already-known successors to ids immediately) and
+// copies the keys of unknown successors for the commit pass.
+func expandRange[S any](ctx context.Context, sys System[S], encode func([]byte, S) []byte,
+	in *interner, states []S, frontier []int, perState [][]pending[S], lo, hi int) {
+	var keyBuf []byte
+	for i := lo; i < hi; i++ {
+		if i&63 == 0 && ctx.Err() != nil {
+			return
+		}
+		succs := sys.Successors(states[frontier[i]])
+		if len(succs) == 0 {
+			continue
+		}
+		recs := make([]pending[S], len(succs))
+		for j, s := range succs {
+			keyBuf = encode(keyBuf[:0], s)
+			h := hashKey(keyBuf)
+			if id, ok := in.lookup(h, keyBuf); ok {
+				recs[j] = pending[S]{id: int32(id)}
+				continue
+			}
+			key := make([]byte, len(keyBuf))
+			copy(key, keyBuf)
+			recs[j] = pending[S]{state: s, key: key, hash: h, id: -1}
+		}
+		perState[i] = recs
+	}
+}

@@ -1,0 +1,239 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/multiset"
+	"repro/internal/popmachine"
+	"repro/internal/popprog"
+	"repro/internal/protocol"
+)
+
+// workerCounts are the engine configurations every differential test runs:
+// the inline path (1), a split frontier (2), and heavy oversubscription (8).
+var workerCounts = []int{1, 2, 8}
+
+// randomProtocol builds a protocol with k states and a random transition
+// table. Most draws are not well-formed predicates deciders — which is the
+// point: the differential harness must agree on arbitrary reachable graphs,
+// including ones with mixed and disagreeing bottom SCCs.
+func randomProtocol(t *testing.T, rng *rand.Rand) *protocol.Protocol {
+	t.Helper()
+	k := 3 + rng.Intn(3)
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("q%d", i)
+	}
+	b := protocol.NewBuilder("random")
+	b.Input(names[0], names[1])
+	for _, n := range names {
+		b.State(n)
+	}
+	for i, n := 0, 2+rng.Intn(7); i < n; i++ {
+		b.Transition(names[rng.Intn(k)], names[rng.Intn(k)],
+			names[rng.Intn(k)], names[rng.Intn(k)])
+	}
+	var accepting []string
+	for _, n := range names {
+		if rng.Intn(2) == 0 {
+			accepting = append(accepting, n)
+		}
+	}
+	b.Accepting(accepting...)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func assertIdentical(t *testing.T, seq, par *Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("%s: parallel result diverges from sequential:\nseq %+v\npar %+v", label, seq, par)
+	}
+}
+
+// TestParallelMatchesSequentialRandomProtocols is the protocol half of the
+// differential harness: on randomized small protocols, the engine must
+// return bit-identical Results — NumStates, bottom-SCC count, outcome and
+// witness multisets, even their order — for every worker count.
+func TestParallelMatchesSequentialRandomProtocols(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		p := randomProtocol(t, rng)
+		sys := NewProtocolSystem(p)
+		x := 1 + rng.Int63n(4)
+		y := rng.Int63n(4)
+		c, err := p.InitialConfig(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{MaxStates: 100_000}
+		seq, err := Explore[*multiset.Multiset](sys, []*multiset.Multiset{c}, opts)
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		for _, w := range workerCounts {
+			opts.Workers = w
+			par, err := ExploreParallel[*multiset.Multiset](sys, []*multiset.Multiset{c}, opts)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, w, err)
+			}
+			assertIdentical(t, seq, par, fmt.Sprintf("trial %d workers=%d (x=%d y=%d)", trial, w, x, y))
+		}
+	}
+}
+
+// TestParallelMatchesSequentialMachine is the population-machine half: the
+// compiled Figure 1 machine explored from randomized register placements,
+// including multi-initial-state explorations (the union graph over all
+// placements of one total).
+func TestParallelMatchesSequentialMachine(t *testing.T) {
+	machine, err := compile.Compile(popprog.Figure1Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := popmachine.System{M: machine}
+	rng := rand.New(rand.NewSource(11))
+	opts := Options{MaxStates: 500_000}
+	for trial := 0; trial < 10; trial++ {
+		regs := multiset.New(len(machine.Registers))
+		for total := 1 + rng.Int63n(4); total > 0; total-- {
+			regs.Add(rng.Intn(regs.Len()), 1)
+		}
+		cfg, err := machine.InitialConfig(regs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Explore[*popmachine.Config](sys, []*popmachine.Config{cfg}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			opts.Workers = w
+			par, err := ExploreParallel[*popmachine.Config](sys, []*popmachine.Config{cfg}, opts)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, w, err)
+			}
+			assertIdentical(t, seq, par, fmt.Sprintf("trial %d workers=%d", trial, w))
+		}
+	}
+
+	// Union exploration from every placement of total 4, with a duplicated
+	// initial state to exercise the dedup path.
+	var initial []*popmachine.Config
+	multiset.Enumerate(len(machine.Registers), 4, func(regs *multiset.Multiset) {
+		cfg, err := machine.InitialConfig(regs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial = append(initial, cfg)
+	})
+	initial = append(initial, initial[0].Clone())
+	seq, err := Explore[*popmachine.Config](sys, initial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		opts.Workers = w
+		par, err := ExploreParallel[*popmachine.Config](sys, initial, opts)
+		if err != nil {
+			t.Fatalf("union workers=%d: %v", w, err)
+		}
+		assertIdentical(t, seq, par, fmt.Sprintf("union workers=%d", w))
+	}
+}
+
+// TestParallelStateLimitIdentical pins the exactness of ErrStateLimit: the
+// engine must refuse at the same canonical point as the sequential BFS, for
+// every worker count, with the same error.
+func TestParallelStateLimitIdentical(t *testing.T) {
+	g := chainSystem{}
+	_, seqErr := Explore[int](g, []int{0}, Options{MaxStates: 100})
+	if !errors.Is(seqErr, ErrStateLimit) {
+		t.Fatalf("sequential err = %v", seqErr)
+	}
+	for _, w := range workerCounts {
+		_, parErr := ExploreParallel[int](g, []int{0}, Options{MaxStates: 100, Workers: w})
+		if !errors.Is(parErr, ErrStateLimit) {
+			t.Fatalf("workers=%d err = %v, want ErrStateLimit", w, parErr)
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Fatalf("workers=%d error %q, sequential %q", w, parErr, seqErr)
+		}
+	}
+}
+
+// TestExploreContextCancelled verifies pre-cancelled contexts abort before
+// any expansion with the context's error rather than ErrStateLimit.
+func TestExploreContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExploreContext[int](ctx, chainSystem{}, []int{0}, Options{MaxStates: 1 << 30})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelExploreLargeCycle reruns the deep-graph Tarjan exercise
+// through the engine with a split frontier.
+func TestParallelExploreLargeCycle(t *testing.T) {
+	const depth = 200000
+	g := ringAfterPath{depth: depth}
+	res, err := ExploreParallel[int](g, []int{0}, Options{MaxStates: depth + 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBottomSCCs != 1 || !res.StabilisesTo(true) {
+		t.Fatalf("bottom SCCs %d, outcomes %v", res.NumBottomSCCs, res.Outcomes)
+	}
+}
+
+// wideSystem fans out to `width` children per level for `depth` levels, then
+// funnels everything into one absorbing state: a frontier wide enough to
+// split across workers.
+type wideSystem struct{ width, depth int }
+
+func (w wideSystem) Key(s [2]int) string { return fmt.Sprintf("%d/%d", s[0], s[1]) }
+
+func (w wideSystem) Successors(s [2]int) [][2]int {
+	if s[0] >= w.depth {
+		return [][2]int{{w.depth, 0}}
+	}
+	out := make([][2]int, w.width)
+	for i := range out {
+		out[i] = [2]int{s[0] + 1, (s[1]*w.width + i) % 9973}
+	}
+	return out
+}
+
+func (w wideSystem) Output(s [2]int) protocol.Output { return protocol.OutputTrue }
+
+// TestParallelWideFrontier forces multi-chunk expansion passes (frontier ≫
+// minExpandChunk) and checks bit-identity there too.
+func TestParallelWideFrontier(t *testing.T) {
+	g := wideSystem{width: 40, depth: 4}
+	opts := Options{MaxStates: 200_000}
+	seq, err := Explore[[2]int](g, [][2]int{{0, 0}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumStates < 2*minExpandChunk {
+		t.Fatalf("test graph too small to split: %d states", seq.NumStates)
+	}
+	for _, w := range workerCounts {
+		opts.Workers = w
+		par, err := ExploreParallel[[2]int](g, [][2]int{{0, 0}}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, seq, par, fmt.Sprintf("wide workers=%d", w))
+	}
+}

@@ -26,12 +26,17 @@ package explore
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/protocol"
 )
 
 // ErrStateLimit is returned when exploration exceeds the configured bound.
 var ErrStateLimit = errors.New("explore: state limit exceeded")
+
+func errStateLimit(limit int) error {
+	return fmt.Errorf("%w (limit %d)", ErrStateLimit, limit)
+}
 
 // System is a finite-state transition system with consensus outputs.
 // Keys must uniquely identify states.
@@ -50,6 +55,12 @@ type Options struct {
 	// MaxStates bounds the number of distinct states explored.
 	// Zero means the default of 2,000,000.
 	MaxStates int
+	// Workers is the number of frontier-expansion goroutines used by the
+	// parallel engine (ExploreContext / ExploreParallel and everything
+	// routed through it). Zero means one worker per available CPU. Results
+	// are bit-identical for every worker count, so experiments stay
+	// reproducible regardless of the machine they ran on.
+	Workers int
 }
 
 func (o Options) maxStates() int {
@@ -57,6 +68,13 @@ func (o Options) maxStates() int {
 		return 2_000_000
 	}
 	return o.MaxStates
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 // Result reports the outcome of exploring from a set of initial states.
@@ -112,7 +130,9 @@ func (r *Result) Consensus() protocol.Output {
 }
 
 // Explore builds the reachable graph from the initial states and analyses
-// its bottom SCCs.
+// its bottom SCCs. It is the sequential reference implementation; the
+// level-synchronised engine (ExploreContext) returns bit-identical Results
+// and is what the checkers and experiments run in production.
 func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 	limit := opts.maxStates()
 
@@ -121,6 +141,7 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 	ids := make(map[string]int)
 	var states []S
 	var edges [][]int
+	var expanded []bool // dense: ids are assigned 0,1,2,...
 
 	intern := func(s S) (int, error) {
 		k := sys.Key(s)
@@ -128,12 +149,13 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 			return id, nil
 		}
 		if len(states) >= limit {
-			return 0, fmt.Errorf("%w (limit %d)", ErrStateLimit, limit)
+			return 0, errStateLimit(limit)
 		}
 		id := len(states)
 		ids[k] = id
 		states = append(states, s)
 		edges = append(edges, nil)
+		expanded = append(expanded, false)
 		return id, nil
 	}
 
@@ -147,7 +169,6 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 			queue = append(queue, id)
 		}
 	}
-	expanded := make(map[int]bool)
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
@@ -167,6 +188,15 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 		}
 	}
 
+	return analyse(sys, states, edges), nil
+}
+
+// analyse runs the shared post-BFS phases: Tarjan's SCC pass over the dense
+// edge lists, bottom-component detection, and per-bottom-SCC consensus
+// outcomes. Both the sequential and the parallel explorer feed it the same
+// canonical (BFS-ordered) graph, which is what makes their Results
+// bit-identical.
+func analyse[S any](sys System[S], states []S, edges [][]int) *Result {
 	// Phase 2: Tarjan's SCC algorithm (iterative, to survive deep graphs).
 	n := len(states)
 	comp := tarjanSCC(n, edges)
@@ -191,7 +221,8 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 		}
 	}
 
-	// Phase 4: compute each bottom SCC's consensus outcome.
+	// Phase 4: compute each bottom SCC's consensus outcome. Witness keys are
+	// the only strings materialised here: one per bottom SCC, not per state.
 	outcome := make([]protocol.Output, numComp)
 	haveOutcome := make([]bool, numComp)
 	witness := make([]string, numComp)
@@ -221,7 +252,7 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 		res.Outcomes = append(res.Outcomes, outcome[c])
 		res.WitnessKeys = append(res.WitnessKeys, witness[c])
 	}
-	return res, nil
+	return res
 }
 
 // tarjanSCC computes strongly connected components iteratively and returns

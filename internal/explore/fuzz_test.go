@@ -1,0 +1,110 @@
+package explore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/multiset"
+)
+
+// FuzzInternKey fuzzes the compact key encoding and the sharded interner:
+//
+//   - encode/decode round-trips (AppendKey → FromKey → Equal), and Key()
+//     agrees byte-for-byte with AppendKey;
+//   - hash and shard assignment are a stable function of the configuration
+//     (re-encoding a clone lands in the same shard);
+//   - distinct configurations never collide in the interner — every key
+//     resolves to exactly the id it was interned under, including after
+//     later inserts have grown the shard arenas;
+//   - arbitrary byte strings either fail FromKey or decode to a value whose
+//     re-encoding decodes to an equal multiset.
+func FuzzInternKey(f *testing.F) {
+	f.Add([]byte{2, 0, 0, 1, 0, 0, 1, 2, 2})
+	f.Add([]byte{1, 7, 7, 7})
+	f.Add([]byte{4, 1, 2, 3, 4, 4, 3, 2, 1})
+	f.Add([]byte{8, 0, 1, 2, 3, 4, 5, 6, 7, 255, 254, 253, 252, 251, 250, 249, 248})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]%8) + 1
+		body := data[1:]
+
+		// Arbitrary bytes must never crash the decoder, and any accepted
+		// decoding must re-encode to an equal value.
+		if m, err := multiset.FromKey(body, n); err == nil {
+			again, err := multiset.FromKey(m.AppendKey(nil), n)
+			if err != nil {
+				t.Fatalf("re-encoding of accepted key failed: %v", err)
+			}
+			if !again.Equal(m) {
+				t.Fatalf("value round-trip mismatch: %v vs %v", m, again)
+			}
+		}
+
+		// Interpret the remaining bytes as a stream of configurations.
+		var sets []*multiset.Multiset
+		for len(body) >= n && len(sets) < 64 {
+			m := multiset.New(n)
+			for i := 0; i < n; i++ {
+				m.Set(i, int64(body[i]))
+			}
+			body = body[n:]
+			sets = append(sets, m)
+		}
+
+		in := newInterner()
+		expect := make(map[string]int)
+		for _, m := range sets {
+			key := m.AppendKey(nil)
+			dec, err := multiset.FromKey(key, n)
+			if err != nil {
+				t.Fatalf("round-trip decode of %v failed: %v", m, err)
+			}
+			if !dec.Equal(m) {
+				t.Fatalf("round-trip of %v gave %v", m, dec)
+			}
+			if m.Key() != string(key) {
+				t.Fatalf("Key()/AppendKey disagree for %v", m)
+			}
+
+			h := hashKey(key)
+			clonedKey := m.Clone().AppendKey(nil)
+			if !bytes.Equal(clonedKey, key) {
+				t.Fatalf("encoding of %v is not deterministic", m)
+			}
+			if hashKey(clonedKey) != h || shardIndex(hashKey(clonedKey)) != shardIndex(h) {
+				t.Fatalf("hash/shard assignment of %v is unstable", m)
+			}
+
+			id, ok := in.lookup(h, key)
+			wantID, seen := expect[string(key)]
+			if ok != seen {
+				t.Fatalf("lookup of %v: present=%v, want %v", m, ok, seen)
+			}
+			if seen {
+				if id != wantID {
+					t.Fatalf("config %v collided: id %d, want %d", m, id, wantID)
+				}
+				continue
+			}
+			newID := len(expect)
+			in.insert(h, key, newID)
+			expect[string(key)] = newID
+			if got, ok := in.lookup(h, key); !ok || got != newID {
+				t.Fatalf("lookup after insert of %v: (%d, %v), want (%d, true)", m, got, ok, newID)
+			}
+		}
+
+		// Every interned key must still resolve to its own id after all
+		// inserts: arena growth must not invalidate earlier entries, and
+		// distinct configurations must have kept distinct ids.
+		for k, id := range expect {
+			key := []byte(k)
+			got, ok := in.lookup(hashKey(key), key)
+			if !ok || got != id {
+				t.Fatalf("interned key lost or remapped: got (%d, %v), want (%d, true)", got, ok, id)
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package explore
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/multiset"
+)
+
+// The sharded state interner maps compact binary state keys to dense integer
+// ids. It replaces the single string-keyed map of the sequential checker:
+// keys are stored once, concatenated in per-shard byte arenas, and looked up
+// through per-shard hash tables keyed by the 64-bit FNV-1a hash of the key
+// bytes, with full-key comparison resolving hash collisions. Shards are
+// selected by the low bits of the hash, so assignment is a pure function of
+// the key — stable across runs and worker counts.
+//
+// Concurrency contract: the parallel engine alternates between a read-only
+// expansion pass (many workers calling lookup) and a single-threaded commit
+// pass (one goroutine calling insert). The striped RWMutexes make each shard
+// individually safe under any interleaving, so the interner stays correct
+// even if a future scheduler overlaps the phases.
+
+const (
+	internShardBits = 6
+	internShardCnt  = 1 << internShardBits
+)
+
+// internEntry locates one interned key in its shard's arena.
+type internEntry struct {
+	off, end uint32 // key bytes are shard.arena[off:end]
+	id       int32  // dense state id
+}
+
+type internShard struct {
+	mu    sync.RWMutex
+	table map[uint64][]internEntry
+	arena []byte
+}
+
+type interner struct {
+	shards [internShardCnt]internShard
+}
+
+func newInterner() *interner {
+	in := &interner{}
+	for i := range in.shards {
+		in.shards[i].table = make(map[uint64][]internEntry)
+	}
+	return in
+}
+
+// hashKey is the interner's hash function, exposed through a helper so the
+// fuzz harness exercises exactly the production code path.
+func hashKey(key []byte) uint64 { return multiset.Hash64(key) }
+
+// shardIndex returns the shard a hash maps to.
+func shardIndex(h uint64) int { return int(h & (internShardCnt - 1)) }
+
+// lookup returns the id interned for key, if any. Safe for concurrent use
+// with other lookups; safe with a concurrent insert via the shard lock.
+func (in *interner) lookup(h uint64, key []byte) (int, bool) {
+	sh := &in.shards[shardIndex(h)]
+	sh.mu.RLock()
+	for _, e := range sh.table[h] {
+		if bytes.Equal(sh.arena[e.off:e.end], key) {
+			sh.mu.RUnlock()
+			return int(e.id), true
+		}
+	}
+	sh.mu.RUnlock()
+	return 0, false
+}
+
+// insert interns key with the given id. The caller must have established
+// that key is absent (ids are dense, assigned in canonical BFS order by the
+// single-threaded commit pass). The key bytes are copied into the shard
+// arena; the caller may reuse its buffer.
+func (in *interner) insert(h uint64, key []byte, id int) {
+	sh := &in.shards[shardIndex(h)]
+	sh.mu.Lock()
+	off := uint32(len(sh.arena))
+	sh.arena = append(sh.arena, key...)
+	sh.table[h] = append(sh.table[h], internEntry{off: off, end: off + uint32(len(key)), id: int32(id)})
+	sh.mu.Unlock()
+}

@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -28,6 +30,13 @@ func NewProtocolSystem(p *protocol.Protocol) ProtocolSystem {
 // Key implements System.
 func (s ProtocolSystem) Key(c *multiset.Multiset) string { return c.Key() }
 
+// AppendKey implements AppendKeySystem: the parallel engine interns
+// configurations through the compact binary encoding instead of
+// materialising a string per visited state.
+func (s ProtocolSystem) AppendKey(dst []byte, c *multiset.Multiset) []byte {
+	return c.AppendKey(dst)
+}
+
 // Successors implements System.
 func (s ProtocolSystem) Successors(c *multiset.Multiset) []*multiset.Multiset {
 	if s.stepper != nil {
@@ -44,7 +53,7 @@ func (s ProtocolSystem) Output(c *multiset.Multiset) protocol.Output {
 // CheckConfiguration verifies that every fair run of p from configuration c
 // stabilises to `want`. It returns the exploration result for diagnostics.
 func CheckConfiguration(p *protocol.Protocol, c *multiset.Multiset, want bool, opts Options) (*Result, error) {
-	res, err := Explore[*multiset.Multiset](NewProtocolSystem(p), []*multiset.Multiset{c.Clone()}, opts)
+	res, err := ExploreParallel[*multiset.Multiset](NewProtocolSystem(p), []*multiset.Multiset{c.Clone()}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -54,6 +63,36 @@ func CheckConfiguration(p *protocol.Protocol, c *multiset.Multiset, want bool, o
 			p.Name, c.Format(p.States), want, res.Outcomes, res.WitnessKeys)
 	}
 	return res, nil
+}
+
+// checkDecidesSize verifies pred for every initial configuration of one
+// population size, using the parallel engine (which degrades to the inline
+// sequential path for the narrow frontiers of small instances).
+func checkDecidesSize(ctx context.Context, sys ProtocolSystem, pred protocol.Predicate, m int64, opts Options) error {
+	p := sys.P
+	var checkErr error
+	multiset.Enumerate(len(p.Input), m, func(inputCounts *multiset.Multiset) {
+		if checkErr != nil {
+			return
+		}
+		c, err := p.InitialConfig(inputCounts.Counts()...)
+		if err != nil {
+			checkErr = err
+			return
+		}
+		want := pred(p.InputCounts(c))
+		res, err := ExploreContext[*multiset.Multiset](ctx, sys, []*multiset.Multiset{c}, opts)
+		if err != nil {
+			checkErr = fmt.Errorf("size %d: %w", m, err)
+			return
+		}
+		if !res.StabilisesTo(want) {
+			checkErr = fmt.Errorf(
+				"size %d: protocol %q from %s: fair runs do not all stabilise to %v (outcomes %v)",
+				m, p.Name, c.Format(p.States), want, res.Outcomes)
+		}
+	})
+	return checkErr
 }
 
 // CheckDecides verifies that p decides pred on every initial configuration
@@ -66,30 +105,8 @@ func CheckDecides(p *protocol.Protocol, pred protocol.Predicate, minAgents, maxA
 	}
 	sys := NewProtocolSystem(p)
 	for m := minAgents; m <= maxAgents; m++ {
-		var checkErr error
-		multiset.Enumerate(len(p.Input), m, func(inputCounts *multiset.Multiset) {
-			if checkErr != nil {
-				return
-			}
-			c, err := p.InitialConfig(inputCounts.Counts()...)
-			if err != nil {
-				checkErr = err
-				return
-			}
-			want := pred(p.InputCounts(c))
-			res, err := Explore[*multiset.Multiset](sys, []*multiset.Multiset{c}, opts)
-			if err != nil {
-				checkErr = fmt.Errorf("size %d: %w", m, err)
-				return
-			}
-			if !res.StabilisesTo(want) {
-				checkErr = fmt.Errorf(
-					"size %d: protocol %q from %s: fair runs do not all stabilise to %v (outcomes %v)",
-					m, p.Name, c.Format(p.States), want, res.Outcomes)
-			}
-		})
-		if checkErr != nil {
-			return checkErr
+		if err := checkDecidesSize(context.Background(), sys, pred, m, opts); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -97,8 +114,14 @@ func CheckDecides(p *protocol.Protocol, pred protocol.Predicate, minAgents, maxA
 
 // CheckDecidesParallel is CheckDecides with the per-size checks fanned out
 // over `workers` goroutines. The protocol's stepper is shared read-only;
-// each worker explores its own sizes. The first failure wins; all workers
-// are always awaited before returning.
+// each worker explores its own sizes. The first failure wins: it cancels
+// the in-flight explorations of the other workers (they abort at their next
+// level barrier), and all workers are awaited before returning.
+//
+// Each per-configuration exploration runs with one engine worker unless
+// opts.Workers says otherwise — the size-level fan-out already saturates the
+// CPUs, and the instances here are small; use ExploreContext directly with
+// Workers > 1 for a single large instance.
 func CheckDecidesParallel(p *protocol.Protocol, pred protocol.Predicate, minAgents, maxAgents int64, workers int, opts Options) error {
 	if minAgents < 1 {
 		return fmt.Errorf("explore: population size must be ≥ 1, got %d", minAgents)
@@ -106,6 +129,11 @@ func CheckDecidesParallel(p *protocol.Protocol, pred protocol.Predicate, minAgen
 	if workers < 1 {
 		workers = 1
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	sys := NewProtocolSystem(p)
 	sizes := make(chan int64)
 	errs := make(chan error, workers)
@@ -115,30 +143,13 @@ func CheckDecidesParallel(p *protocol.Protocol, pred protocol.Predicate, minAgen
 		go func() {
 			defer wg.Done()
 			for m := range sizes {
-				var checkErr error
-				multiset.Enumerate(len(p.Input), m, func(inputCounts *multiset.Multiset) {
-					if checkErr != nil {
-						return
+				if err := checkDecidesSize(ctx, sys, pred, m, opts); err != nil {
+					// A worker whose exploration was aborted by another
+					// worker's failure has nothing to report.
+					if !errors.Is(err, context.Canceled) {
+						errs <- err
+						cancel()
 					}
-					c, err := p.InitialConfig(inputCounts.Counts()...)
-					if err != nil {
-						checkErr = err
-						return
-					}
-					want := pred(p.InputCounts(c))
-					res, err := Explore[*multiset.Multiset](sys, []*multiset.Multiset{c}, opts)
-					if err != nil {
-						checkErr = fmt.Errorf("size %d: %w", m, err)
-						return
-					}
-					if !res.StabilisesTo(want) {
-						checkErr = fmt.Errorf(
-							"size %d: protocol %q from %s: fair runs do not all stabilise to %v (outcomes %v)",
-							m, p.Name, c.Format(p.States), want, res.Outcomes)
-					}
-				})
-				if checkErr != nil {
-					errs <- checkErr
 					return
 				}
 			}

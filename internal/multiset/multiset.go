@@ -199,13 +199,64 @@ func (m *Multiset) IsZeroOn(kinds []int) bool {
 // Key returns a compact byte-string key identifying the multiset contents.
 // It is suitable for use as a map key in the explicit-state model checker.
 func (m *Multiset) Key() string {
-	buf := make([]byte, 0, len(m.counts)*3)
+	return string(m.AppendKey(make([]byte, 0, len(m.counts)*3)))
+}
+
+// AppendKey appends the compact binary key encoding of the multiset to dst
+// and returns the extended slice. The encoding is the varint count sequence
+// of Key; for a fixed universe size it is injective (each varint is
+// self-delimiting), and FromKey inverts it. AppendKey exists so the
+// model checker's hot path can intern states without materialising a string
+// per visited configuration.
+func (m *Multiset) AppendKey(dst []byte) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for _, c := range m.counts {
 		n := binary.PutVarint(tmp[:], c)
-		buf = append(buf, tmp[:n]...)
+		dst = append(dst, tmp[:n]...)
 	}
-	return string(buf)
+	return dst
+}
+
+// FromKey decodes a key produced by Key/AppendKey back into a multiset over
+// a universe of n kinds. It rejects truncated input, trailing bytes and
+// negative counts, so it doubles as a validity check in the encoder fuzzing
+// harness.
+func FromKey(key []byte, n int) (*Multiset, error) {
+	m := &Multiset{counts: make([]int64, n)}
+	rest := key
+	for i := 0; i < n; i++ {
+		c, w := binary.Varint(rest)
+		if w <= 0 {
+			return nil, fmt.Errorf("multiset: truncated key at kind %d", i)
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("multiset: negative count %d at kind %d", c, i)
+		}
+		m.counts[i] = c
+		m.size += c
+		rest = rest[w:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("multiset: %d trailing key bytes", len(rest))
+	}
+	return m, nil
+}
+
+// Hash64 is the 64-bit FNV-1a hash of a state key. The model checker's
+// sharded interner uses it both as the hash-table key and (via its low bits)
+// as the shard selector; it is a fixed function of the key bytes, so shard
+// assignment is stable across runs and worker counts.
+func Hash64(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
 }
 
 // String renders the multiset as {i:count, ...} over the support.

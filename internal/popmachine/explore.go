@@ -16,6 +16,11 @@ type System struct {
 // Key implements explore.System.
 func (s System) Key(c *Config) string { return c.Key() }
 
+// AppendKey implements explore.AppendKeySystem: the parallel engine interns
+// machine configurations through the compact binary encoding instead of
+// materialising a string per visited state.
+func (s System) AppendKey(dst []byte, c *Config) []byte { return c.AppendKey(dst) }
+
 // Successors implements explore.System.
 func (s System) Successors(c *Config) []*Config { return s.M.Successors(c) }
 

@@ -1,6 +1,7 @@
 package popmachine
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/multiset"
@@ -23,11 +24,22 @@ func (c *Config) Clone() *Config {
 
 // Key returns a unique string for the configuration (for model checking).
 func (c *Config) Key() string {
-	buf := make([]byte, 0, len(c.Pointers)*2)
+	return string(c.AppendKey(make([]byte, 0, len(c.Pointers)*2+c.Regs.Len()*3)))
+}
+
+// AppendKey appends a compact binary key encoding of the configuration to
+// dst and returns the extended slice: every pointer value as a uvarint
+// followed by the register multiset's key. For a fixed machine (fixed
+// pointer count and register universe) the encoding is injective, since each
+// uvarint is self-delimiting. It is the allocation-free interning path of
+// the exact model checker.
+func (c *Config) AppendKey(dst []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
 	for _, v := range c.Pointers {
-		buf = append(buf, byte(v), byte(v>>8))
+		n := binary.PutUvarint(tmp[:], uint64(v))
+		dst = append(dst, tmp[:n]...)
 	}
-	return string(buf) + "|" + c.Regs.Key()
+	return c.Regs.AppendKey(dst)
 }
 
 // InitialConfig returns the configuration with all pointers at their

@@ -46,21 +46,35 @@ func (s *Stepper) EnabledTransitions(c *multiset.Multiset) []Transition {
 }
 
 // Successors returns the distinct configurations reachable from c in one
-// transition, using the pair index.
+// transition, using the pair index. Dedup goes through the 64-bit key hash
+// with full-configuration comparison on collision, so the model checker's
+// hottest loop does not materialise a key string per generated successor.
 func (s *Stepper) Successors(c *multiset.Multiset) []*multiset.Multiset {
-	seen := make(map[string]bool)
 	var out []*multiset.Multiset
+	var seen map[uint64][]int
+	var keyBuf []byte
 	for _, t := range s.EnabledTransitions(c) {
 		next := c.Clone()
 		s.p.Apply(next, t)
 		if next.Equal(c) {
 			continue
 		}
-		k := next.Key()
-		if seen[k] {
+		keyBuf = next.AppendKey(keyBuf[:0])
+		h := multiset.Hash64(keyBuf)
+		if seen == nil {
+			seen = make(map[uint64][]int, 8)
+		}
+		dup := false
+		for _, i := range seen[h] {
+			if out[i].Equal(next) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = true
+		seen[h] = append(seen[h], len(out))
 		out = append(out, next)
 	}
 	return out
