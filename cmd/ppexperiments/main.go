@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ppexperiments [-markdown] [-quick] [-seed N] [-batch N] [-workers W] [-explore-workers W]
+//	              [-metrics] [-metrics-interval D] [-pprof ADDR]
 //
 // -quick shrinks every sweep to its smallest meaningful size (useful for
 // smoke tests); -markdown emits the tables in the format EXPERIMENTS.md
@@ -12,34 +13,68 @@
 // sets the frontier-expansion worker count of the parallel model checker
 // used by the exhaustive checks (0 = one per CPU); every table is
 // bit-identical for any value.
+//
+// Telemetry: -metrics prints a JSON snapshot of the scheduler, runner and
+// explorer counters to stderr on exit; -metrics-interval emits periodic
+// snapshot lines so long explorations show live progress (frontier widths,
+// states/sec, interner occupancy); -pprof serves net/http/pprof and expvar.
+// Telemetry is read-only: the emitted tables are byte-identical with and
+// without it (pinned by a differential test in internal/experiments).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs/obsflag"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ppexperiments:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() error {
-	markdown := flag.Bool("markdown", false, "emit markdown tables")
-	quick := flag.Bool("quick", false, "small sweeps for a fast smoke run")
-	seed := flag.Int64("seed", 1, "seed for randomised experiments")
-	batch := flag.Int64("batch", 0,
+// run is the whole binary behind a testable seam: it parses and validates
+// args, executes, and returns the process exit code (0 ok, 1 runtime
+// failure, 2 usage error — invalid flag values print the error followed by
+// the usage text).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ppexperiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	markdown := fs.Bool("markdown", false, "emit markdown tables")
+	quick := fs.Bool("quick", false, "small sweeps for a fast smoke run")
+	seed := fs.Int64("seed", 1, "seed for randomised experiments")
+	batch := fs.Int64("batch", 0,
 		"batched fast-path chunk size for the convergence experiment (0 = per-step)")
-	workers := flag.Int("workers", 1,
+	workers := fs.Int("workers", 1,
 		"worker goroutines for the convergence experiment's runs")
-	exploreWorkers := flag.Int("explore-workers", 0,
+	exploreWorkers := fs.Int("explore-workers", 0,
 		"frontier-expansion workers for the exhaustive model checks (0 = one per CPU)")
-	flag.Parse()
+	telemetry := obsflag.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2 // the flag package has already printed the error and usage
+	}
+
+	usageErr := func(err error) int {
+		fmt.Fprintln(stderr, "ppexperiments:", err)
+		fs.Usage()
+		return 2
+	}
+	switch {
+	case *workers < 1:
+		return usageErr(fmt.Errorf("-workers must be ≥ 1, got %d", *workers))
+	case *batch < 0:
+		return usageErr(fmt.Errorf("-batch must be ≥ 0, got %d", *batch))
+	case *exploreWorkers < 0:
+		return usageErr(fmt.Errorf("-explore-workers must be ≥ 0, got %d", *exploreWorkers))
+	}
+	stopTelemetry, err := telemetry.Start(stderr)
+	if err != nil {
+		return usageErr(err)
+	}
+	defer stopTelemetry()
 
 	cfg := experiments.Config{Seed: *seed}
 	if *quick {
@@ -61,18 +96,19 @@ func run() error {
 
 	tables, err := experiments.All(cfg)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "ppexperiments:", err)
+		return 1
 	}
 	for _, t := range tables {
 		if *markdown {
-			if err := t.Markdown(os.Stdout); err != nil {
-				return err
-			}
+			err = t.Markdown(stdout)
 		} else {
-			if err := t.Render(os.Stdout); err != nil {
-				return err
-			}
+			err = t.Render(stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "ppexperiments:", err)
+			return 1
 		}
 	}
-	return nil
+	return 0
 }

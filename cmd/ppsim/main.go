@@ -19,18 +19,26 @@
 // Program targets (figure1, czerner:n, equality:n, or a .pop file given
 // with -program) run the population-program interpreter with a seeded
 // random oracle and report the stabilised output flag, steps and restarts.
+//
+// Telemetry: -metrics prints a JSON snapshot of the scheduler/runner
+// counters to stderr on exit, -metrics-interval emits periodic snapshot
+// lines while running, and -pprof serves net/http/pprof and expvar for live
+// profiling. Telemetry is read-only: simulation output is byte-identical
+// with and without it.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/obs/obsflag"
 	"repro/internal/popprog"
 	"repro/internal/protocol"
 	"repro/internal/sched"
@@ -38,32 +46,59 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ppsim:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() error {
-	target := flag.String("target", "majority",
+// run is the whole binary behind a testable seam: it parses and validates
+// args, executes, and returns the process exit code (0 ok, 1 runtime
+// failure, 2 usage error — invalid flag values print the error followed by
+// the usage text).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ppsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "majority",
 		"what to simulate: majority | unary:k | binary:j | remainder:m | figure1 | czerner:n | equality:n")
-	programPath := flag.String("program", "", "path to a .pop population program (overrides -target)")
-	input := flag.String("input", "", "comma-separated input counts (protocols) or a total (programs)")
-	seed := flag.Int64("seed", 1, "PRNG seed")
-	budget := flag.Int64("budget", 0, "step budget (0 = default)")
-	scheduler := flag.String("scheduler", "pair", "protocol scheduler: pair | batch | fair")
-	batch := flag.Int64("batch", 0,
+	programPath := fs.String("program", "", "path to a .pop population program (overrides -target)")
+	input := fs.String("input", "", "comma-separated input counts (protocols) or a total (programs)")
+	seed := fs.Int64("seed", 1, "PRNG seed")
+	budget := fs.Int64("budget", 0, "step budget (0 = default)")
+	scheduler := fs.String("scheduler", "pair", "protocol scheduler: pair | batch | fair")
+	batch := fs.Int64("batch", 0,
 		"batched fast-path chunk size for protocol targets (0 = per-step; implies -scheduler batch when set)")
-	runs := flag.Int("runs", 1, "repeat protocol runs this many times (seeds seed..seed+runs-1) and report summary statistics")
-	workers := flag.Int("workers", 1, "worker goroutines for -runs > 1 (results are identical for any worker count)")
-	flag.Parse()
-
-	if *input == "" {
-		return errors.New("-input is required")
+	runs := fs.Int("runs", 1, "repeat protocol runs this many times (seeds seed..seed+runs-1) and report summary statistics")
+	workers := fs.Int("workers", 1, "worker goroutines for -runs > 1 (results are identical for any worker count)")
+	telemetry := obsflag.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2 // the flag package has already printed the error and usage
 	}
+
+	usageErr := func(err error) int {
+		fmt.Fprintln(stderr, "ppsim:", err)
+		fs.Usage()
+		return 2
+	}
+	switch {
+	case *runs < 1:
+		return usageErr(fmt.Errorf("-runs must be ≥ 1, got %d", *runs))
+	case *workers < 1:
+		return usageErr(fmt.Errorf("-workers must be ≥ 1, got %d", *workers))
+	case *batch < 0:
+		return usageErr(fmt.Errorf("-batch must be ≥ 0, got %d", *batch))
+	case *budget < 0:
+		return usageErr(fmt.Errorf("-budget must be ≥ 0, got %d", *budget))
+	case *input == "":
+		return usageErr(errors.New("-input is required"))
+	}
+	stopTelemetry, err := telemetry.Start(stderr)
+	if err != nil {
+		return usageErr(err)
+	}
+	defer stopTelemetry()
+
 	counts, err := parseCounts(*input)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "ppsim:", err)
+		return 1
 	}
 	so := simOptions{
 		scheduler: *scheduler,
@@ -73,9 +108,17 @@ func run() error {
 		runs:      *runs,
 		workers:   *workers,
 	}
+	if err := dispatch(stdout, *target, *programPath, counts, so); err != nil {
+		fmt.Fprintln(stderr, "ppsim:", err)
+		return 1
+	}
+	return 0
+}
 
-	if *programPath != "" {
-		src, err := os.ReadFile(*programPath)
+// dispatch routes to the protocol or program simulation paths.
+func dispatch(w io.Writer, target, programPath string, counts []int64, so simOptions) error {
+	if programPath != "" {
+		src, err := os.ReadFile(programPath)
 		if err != nil {
 			return err
 		}
@@ -86,10 +129,10 @@ func run() error {
 		if len(counts) != 1 {
 			return errors.New("-program needs -input m (a single total)")
 		}
-		return simulateProgram(prog, counts[0], *seed, *budget, popprog.DecideOptions{})
+		return simulateProgram(w, prog, counts[0], so.seed, so.budget, popprog.DecideOptions{})
 	}
 
-	name, param, err := splitTarget(*target)
+	name, param, err := splitTarget(target)
 	if err != nil {
 		return err
 	}
@@ -102,7 +145,7 @@ func run() error {
 		if len(counts) != 2 {
 			return errors.New("majority needs -input x,y")
 		}
-		return simulateProtocol(p, counts, so)
+		return simulateProtocol(w, p, counts, so)
 	case "unary":
 		p, err := baseline.UnaryThreshold(param)
 		if err != nil {
@@ -111,7 +154,7 @@ func run() error {
 		if len(counts) != 1 {
 			return errors.New("unary needs -input m")
 		}
-		return simulateProtocol(p, counts, so)
+		return simulateProtocol(w, p, counts, so)
 	case "binary":
 		p, err := baseline.BinaryThreshold(int(param))
 		if err != nil {
@@ -120,7 +163,7 @@ func run() error {
 		if len(counts) != 1 {
 			return errors.New("binary needs -input m")
 		}
-		return simulateProtocol(p, counts, so)
+		return simulateProtocol(w, p, counts, so)
 	case "remainder":
 		if param < 1 {
 			return errors.New("remainder needs a positive modulus, e.g. remainder:3")
@@ -132,12 +175,12 @@ func run() error {
 		if len(counts) != 1 {
 			return errors.New("remainder needs -input m")
 		}
-		return simulateProtocol(p, counts, so)
+		return simulateProtocol(w, p, counts, so)
 	case "figure1":
 		if len(counts) != 1 {
 			return errors.New("figure1 needs -input m")
 		}
-		return simulateProgram(popprog.Figure1Program(), counts[0], *seed, *budget, popprog.DecideOptions{})
+		return simulateProgram(w, popprog.Figure1Program(), counts[0], so.seed, so.budget, popprog.DecideOptions{})
 	case "czerner", "equality":
 		var c *core.Construction
 		var err error
@@ -152,13 +195,13 @@ func run() error {
 		if len(counts) != 1 {
 			return errors.New("czerner/equality needs -input m")
 		}
-		fmt.Printf("construction: n=%d, threshold k=%s, program size %d\n",
+		fmt.Fprintf(w, "construction: n=%d, threshold k=%s, program size %d\n",
 			c.Levels, c.K, c.Program.Size())
-		return simulateProgram(c.Program, counts[0], *seed, *budget, popprog.DecideOptions{
+		return simulateProgram(w, c.Program, counts[0], so.seed, so.budget, popprog.DecideOptions{
 			TruthProb: 0.85, RestartHint: c.RestartHint(), HintProb: 0.3,
 		})
 	default:
-		return fmt.Errorf("unknown target %q", *target)
+		return fmt.Errorf("unknown target %q", target)
 	}
 }
 
@@ -195,7 +238,7 @@ type simOptions struct {
 	runs, workers int
 }
 
-func simulateProtocol(p *protocol.Protocol, counts []int64, so simOptions) error {
+func simulateProtocol(w io.Writer, p *protocol.Protocol, counts []int64, so simOptions) error {
 	if so.batch > 0 && so.scheduler == "pair" {
 		so.scheduler = "batch"
 	}
@@ -212,11 +255,11 @@ func simulateProtocol(p *protocol.Protocol, counts []int64, so simOptions) error
 		for _, c := range counts {
 			m += c
 		}
-		fmt.Printf("protocol:      %s (%d states, %d transitions)\n",
+		fmt.Fprintf(w, "protocol:      %s (%d states, %d transitions)\n",
 			p.Name, p.NumStates(), len(p.Transitions))
-		fmt.Printf("input:         %v (m = %d)\n", counts, m)
-		fmt.Printf("runs:          %d (workers %d, batch %d)\n", so.runs, so.workers, so.batch)
-		fmt.Printf("interactions:  %v\n", simulate.Summarise(samples))
+		fmt.Fprintf(w, "input:         %v (m = %d)\n", counts, m)
+		fmt.Fprintf(w, "runs:          %d (workers %d, batch %d)\n", so.runs, so.workers, so.batch)
+		fmt.Fprintf(w, "interactions:  %v\n", simulate.Summarise(samples))
 		return nil
 	}
 	rng := sched.NewRand(so.seed)
@@ -235,29 +278,29 @@ func simulateProtocol(p *protocol.Protocol, counts []int64, so simOptions) error
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol:      %s (%d states, %d transitions)\n",
+	fmt.Fprintf(w, "protocol:      %s (%d states, %d transitions)\n",
 		p.Name, p.NumStates(), len(p.Transitions))
-	fmt.Printf("input:         %v (m = %d)\n", counts, res.Final.Size())
-	fmt.Printf("output:        %v\n", res.Output)
-	fmt.Printf("interactions:  %d (%d effective)\n", res.Steps, res.EffectiveSteps)
-	fmt.Printf("parallel time: %.1f\n", res.ParallelTime())
-	fmt.Printf("quiescent:     %v\n", res.Quiescent)
+	fmt.Fprintf(w, "input:         %v (m = %d)\n", counts, res.Final.Size())
+	fmt.Fprintf(w, "output:        %v\n", res.Output)
+	fmt.Fprintf(w, "interactions:  %d (%d effective)\n", res.Steps, res.EffectiveSteps)
+	fmt.Fprintf(w, "parallel time: %.1f\n", res.ParallelTime())
+	fmt.Fprintf(w, "quiescent:     %v\n", res.Quiescent)
 	return nil
 }
 
-func simulateProgram(prog *popprog.Program, total, seed, budget int64, opts popprog.DecideOptions) error {
+func simulateProgram(w io.Writer, prog *popprog.Program, total, seed, budget int64, opts popprog.DecideOptions) error {
 	opts.Seed = seed
 	opts.Budget = budget
 	res, err := popprog.DecideTotal(prog, total, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("program:  %s (size %d: %d registers, %d instructions, swap-size %d)\n",
+	fmt.Fprintf(w, "program:  %s (size %d: %d registers, %d instructions, swap-size %d)\n",
 		prog.Name, prog.Size(), len(prog.Registers), prog.InstructionCount(), prog.SwapSize())
-	fmt.Printf("total:    %d agents\n", total)
-	fmt.Printf("output:   %v\n", res.Output)
-	fmt.Printf("steps:    %d\n", res.Steps)
-	fmt.Printf("restarts: %d\n", res.Restarts)
-	fmt.Printf("halted:   %v\n", res.Halted)
+	fmt.Fprintf(w, "total:    %d agents\n", total)
+	fmt.Fprintf(w, "output:   %v\n", res.Output)
+	fmt.Fprintf(w, "steps:    %d\n", res.Steps)
+	fmt.Fprintf(w, "restarts: %d\n", res.Restarts)
+	fmt.Fprintf(w, "halted:   %v\n", res.Halted)
 	return nil
 }

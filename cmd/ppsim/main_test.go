@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/obs"
 	"repro/internal/popprog"
 )
 
@@ -50,45 +55,126 @@ func TestParseCounts(t *testing.T) {
 }
 
 func TestSimulatePathsSmoke(t *testing.T) {
-	// Drive the protocol and program paths end to end (output to stdout).
+	// Drive the protocol and program paths end to end.
 	p, err := baseline.Majority()
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := simOptions{scheduler: "pair", seed: 1, runs: 1, workers: 1}
-	if err := simulateProtocol(p, []int64{6, 3}, base); err != nil {
+	if err := simulateProtocol(io.Discard, p, []int64{6, 3}, base); err != nil {
 		t.Fatal(err)
 	}
 	fair := base
 	fair.scheduler = "fair"
-	if err := simulateProtocol(p, []int64{6, 3}, fair); err != nil {
+	if err := simulateProtocol(io.Discard, p, []int64{6, 3}, fair); err != nil {
 		t.Fatal(err)
 	}
 	batched := base
 	batched.batch = 64
-	if err := simulateProtocol(p, []int64{6, 3}, batched); err != nil {
+	if err := simulateProtocol(io.Discard, p, []int64{6, 3}, batched); err != nil {
 		t.Fatal(err)
 	}
 	multi := base
 	multi.runs = 4
 	multi.workers = 2
 	multi.batch = 32
-	if err := simulateProtocol(p, []int64{6, 3}, multi); err != nil {
+	if err := simulateProtocol(io.Discard, p, []int64{6, 3}, multi); err != nil {
 		t.Fatal(err)
 	}
 	multiFair := multi
 	multiFair.scheduler = "fair"
 	multiFair.batch = 0
-	if err := simulateProtocol(p, []int64{6, 3}, multiFair); err == nil {
+	if err := simulateProtocol(io.Discard, p, []int64{6, 3}, multiFair); err == nil {
 		t.Fatal("accepted -runs > 1 with the fair scheduler")
 	}
 	bogus := base
 	bogus.scheduler = "bogus"
-	if err := simulateProtocol(p, []int64{6, 3}, bogus); err == nil {
+	if err := simulateProtocol(io.Discard, p, []int64{6, 3}, bogus); err == nil {
 		t.Fatal("accepted an unknown scheduler")
 	}
-	if err := simulateProgram(popprog.Figure1Program(), 5, 1, 300_000,
+	if err := simulateProgram(io.Discard, popprog.Figure1Program(), 5, 1, 300_000,
 		popprog.DecideOptions{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunFlagValidation pins the CLI contract: invalid flag values exit
+// non-zero with an error plus the usage text — no panic, no silent clamp.
+// run() is main() minus os.Exit, so the returned code is the exit code.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr
+	}{
+		{"zero runs", []string{"-target", "majority", "-input", "6,3", "-runs", "0"}, 2, "-runs must be ≥ 1"},
+		{"negative runs", []string{"-target", "majority", "-input", "6,3", "-runs", "-2"}, 2, "-runs must be ≥ 1"},
+		{"zero workers", []string{"-target", "majority", "-input", "6,3", "-workers", "0"}, 2, "-workers must be ≥ 1"},
+		{"negative batch", []string{"-target", "majority", "-input", "6,3", "-batch", "-1"}, 2, "-batch must be ≥ 0"},
+		{"negative budget", []string{"-target", "majority", "-input", "6,3", "-budget", "-5"}, 2, "-budget must be ≥ 0"},
+		{"missing input", []string{"-target", "majority"}, 2, "-input is required"},
+		{"non-numeric flag", []string{"-runs", "x"}, 2, "invalid value"},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2, "flag provided but not defined"},
+		{"negative metrics interval", []string{"-target", "majority", "-input", "6,3", "-metrics-interval", "-1s"}, 2, "-metrics-interval must be ≥ 0"},
+		{"unknown target", []string{"-target", "nope", "-input", "3"}, 1, "unknown target"},
+		{"bad input counts", []string{"-target", "majority", "-input", "6;3"}, 1, "input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstderr: %s", code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+			if tc.wantCode == 2 && !strings.Contains(stderr.String(), "Usage of ppsim") {
+				t.Fatalf("usage-error stderr missing usage text:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunMetricsSnapshot runs a seeded simulation with -metrics and checks
+// the stderr snapshot is well-formed JSON carrying live scheduler and
+// runner counters (the acceptance criterion for ppsim -metrics).
+func TestRunMetricsSnapshot(t *testing.T) {
+	defer obs.Disable() // run()'s telemetry stop disables too; belt and braces
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-target", "majority", "-input", "20,11", "-seed", "7",
+		"-runs", "4", "-workers", "2", "-batch", "64", "-metrics"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stderr.String()), "\n")
+	last := lines[len(lines)-1]
+	var snap obs.Snap
+	if err := json.Unmarshal([]byte(last), &snap); err != nil {
+		t.Fatalf("-metrics snapshot is not valid JSON: %v\n%s", err, last)
+	}
+	if snap.Sched.Steps == 0 {
+		t.Fatalf("snapshot recorded no scheduler steps: %s", last)
+	}
+	if snap.Sim.RunsFinished != 4 {
+		t.Fatalf("RunsFinished = %d, want 4: %s", snap.Sim.RunsFinished, last)
+	}
+	if snap.Sched.NullsSkipped == 0 {
+		t.Fatalf("batched run skipped no nulls: %s", last)
+	}
+	// Telemetry must not leak into or alter stdout.
+	if strings.Contains(stdout.String(), "{") {
+		t.Fatalf("JSON leaked into stdout:\n%s", stdout.String())
+	}
+	// The same invocation with metrics off must produce identical stdout.
+	var stdout2, stderr2 bytes.Buffer
+	if code := run([]string{"-target", "majority", "-input", "20,11", "-seed", "7",
+		"-runs", "4", "-workers", "2", "-batch", "64"}, &stdout2, &stderr2); code != 0 {
+		t.Fatalf("metrics-off rerun failed: %s", stderr2.String())
+	}
+	if stdout.String() != stdout2.String() {
+		t.Fatalf("stdout differs with metrics on/off:\n--- on ---\n%s--- off ---\n%s",
+			stdout.String(), stdout2.String())
 	}
 }

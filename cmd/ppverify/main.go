@@ -7,6 +7,12 @@
 //
 //	ppverify [-max-agents N]
 //	         [-targets majority,unary,binary,remainder,product,figure1,czerner1,equality1]
+//	         [-metrics] [-metrics-interval D] [-pprof ADDR]
+//
+// -metrics prints a JSON telemetry snapshot (exploration levels, frontier
+// widths, states/sec, interner occupancy) to stderr on exit;
+// -metrics-interval emits periodic snapshot lines while a verification is
+// running; -pprof serves net/http/pprof and expvar for live profiling.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/multiset"
+	"repro/internal/obs/obsflag"
 	"repro/internal/popmachine"
 	"repro/internal/popprog"
 	"repro/internal/protocol"
@@ -38,7 +45,14 @@ func run() error {
 	maxAgents := flag.Int64("max-agents", 5, "largest population size to verify exhaustively")
 	targets := flag.String("targets", "majority,unary,binary,remainder,product,figure1,czerner1,equality1",
 		"comma-separated verification targets")
+	telemetry := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopTelemetry, err := telemetry.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
 
 	for _, target := range strings.Split(*targets, ",") {
 		target = strings.TrimSpace(target)

@@ -3,6 +3,9 @@ package explore
 import (
 	"context"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // AppendKeySystem is an optional System extension. Systems that can encode a
@@ -53,6 +56,13 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 	limit := opts.maxStates()
 	workers := opts.workers()
 
+	met := obs.Explore()
+	if met != nil {
+		met.Explorations.Inc()
+		t0 := time.Now()
+		defer func() { met.Nanos.Add(time.Since(t0).Nanoseconds()) }()
+	}
+
 	encode := func(dst []byte, s S) []byte { return append(dst, sys.Key(s)...) }
 	if ak, ok := any(sys).(AppendKeySystem[S]); ok {
 		encode = ak.AppendKey
@@ -75,6 +85,9 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 		in.insert(h, key, id)
 		states = append(states, s)
 		edges = append(edges, nil)
+		if met != nil {
+			met.States.Inc()
+		}
 		return id, true, nil
 	}
 
@@ -93,7 +106,14 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 
 	for len(frontier) > 0 {
 		if err := ctx.Err(); err != nil {
+			if met != nil {
+				met.Cancellations.Inc()
+			}
 			return nil, err
+		}
+		if met != nil {
+			met.Levels.Inc()
+			met.Frontier.Observe(int64(len(frontier)))
 		}
 
 		// Expansion pass: workers read the interner and produce, per
@@ -119,6 +139,9 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 			wg.Wait()
 		}
 		if err := ctx.Err(); err != nil {
+			if met != nil {
+				met.Cancellations.Inc()
+			}
 			return nil, err
 		}
 
@@ -147,6 +170,9 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 				}
 			}
 			edges[u] = out
+			if met != nil {
+				met.Edges.Add(int64(len(out)))
+			}
 		}
 		frontier = next
 	}

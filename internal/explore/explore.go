@@ -27,7 +27,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -136,6 +138,13 @@ func (r *Result) Consensus() protocol.Output {
 func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 	limit := opts.maxStates()
 
+	met := obs.Explore()
+	if met != nil {
+		met.Explorations.Inc()
+		t0 := time.Now()
+		defer func() { met.Nanos.Add(time.Since(t0).Nanoseconds()) }()
+	}
+
 	// Phase 1: BFS to discover all reachable states and record the edge
 	// lists over dense integer ids.
 	ids := make(map[string]int)
@@ -156,6 +165,9 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 		states = append(states, s)
 		edges = append(edges, nil)
 		expanded = append(expanded, false)
+		if met != nil {
+			met.States.Inc()
+		}
 		return id, nil
 	}
 
@@ -185,6 +197,9 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 			if !expanded[nid] {
 				queue = append(queue, nid)
 			}
+		}
+		if met != nil {
+			met.Edges.Add(int64(len(edges[id])))
 		}
 	}
 

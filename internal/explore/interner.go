@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/multiset"
+	"repro/internal/obs"
 )
 
 // The sharded state interner maps compact binary state keys to dense integer
@@ -40,10 +41,14 @@ type internShard struct {
 
 type interner struct {
 	shards [internShardCnt]internShard
+	// met is the telemetry group captured at construction (nil when
+	// disabled): shard occupancy, arena growth and hash collisions are
+	// observed on insert, which the commit pass runs single-threaded.
+	met *obs.ExploreMetrics
 }
 
 func newInterner() *interner {
-	in := &interner{}
+	in := &interner{met: obs.Explore()}
 	for i := range in.shards {
 		in.shards[i].table = make(map[uint64][]internEntry)
 	}
@@ -77,10 +82,19 @@ func (in *interner) lookup(h uint64, key []byte) (int, bool) {
 // single-threaded commit pass). The key bytes are copied into the shard
 // arena; the caller may reuse its buffer.
 func (in *interner) insert(h uint64, key []byte, id int) {
-	sh := &in.shards[shardIndex(h)]
+	shard := shardIndex(h)
+	sh := &in.shards[shard]
 	sh.mu.Lock()
+	collision := len(sh.table[h]) != 0 // same 64-bit hash, different key
 	off := uint32(len(sh.arena))
 	sh.arena = append(sh.arena, key...)
 	sh.table[h] = append(sh.table[h], internEntry{off: off, end: off + uint32(len(key)), id: int32(id)})
 	sh.mu.Unlock()
+	if in.met != nil {
+		in.met.InternShard.Add(shard, 1)
+		in.met.InternArenaBytes.Add(int64(len(key)))
+		if collision {
+			in.met.InternCollisions.Inc()
+		}
+	}
 }

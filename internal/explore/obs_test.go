@@ -1,0 +1,126 @@
+package explore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestExploreMetricsExact cross-checks the explorer's telemetry against the
+// exploration result itself: on a deterministic chain graph the counters
+// are fully predictable, so this pins them exactly rather than just
+// "nonzero".
+func TestExploreMetricsExact(t *testing.T) {
+	const n = 64
+	g := ringAfterPath{depth: n}
+
+	m := obs.Enable()
+	defer obs.Disable()
+	res, err := ExploreParallel[int](g, []int{0}, Options{MaxStates: n + 10, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+
+	if snap.Explore.Explorations != 1 {
+		t.Fatalf("Explorations = %d, want 1", snap.Explore.Explorations)
+	}
+	if snap.Explore.States != int64(res.NumStates) {
+		t.Fatalf("States = %d, result has %d", snap.Explore.States, res.NumStates)
+	}
+	// Every ringAfterPath state has exactly one successor.
+	if snap.Explore.Edges != int64(res.NumStates) {
+		t.Fatalf("Edges = %d, want %d (one per state)", snap.Explore.Edges, res.NumStates)
+	}
+	// The chain keeps every BFS frontier at width 1, so the level count
+	// matches the state count and the frontier histogram is all ones.
+	if snap.Explore.Levels != int64(res.NumStates) {
+		t.Fatalf("Levels = %d, want %d (width-1 frontiers)", snap.Explore.Levels, res.NumStates)
+	}
+	if snap.Explore.Frontier.Min != 1 || snap.Explore.Frontier.Max != 1 {
+		t.Fatalf("Frontier min/max = %d/%d, want 1/1", snap.Explore.Frontier.Min, snap.Explore.Frontier.Max)
+	}
+	// Every interned state lands in exactly one shard, so shard occupancy
+	// must add back up to the state count.
+	var shardTotal int64
+	for _, v := range snap.Explore.InternShard {
+		shardTotal += v
+	}
+	if shardTotal != snap.Explore.States {
+		t.Fatalf("interner shard occupancy sums to %d, want %d states", shardTotal, snap.Explore.States)
+	}
+	if snap.Explore.InternArenaBytes == 0 {
+		t.Fatal("interner recorded no arena bytes")
+	}
+	if snap.Explore.Cancellations != 0 {
+		t.Fatalf("Cancellations = %d on an uncancelled run", snap.Explore.Cancellations)
+	}
+	if snap.Explore.Nanos <= 0 {
+		t.Fatalf("Nanos = %d, want > 0", snap.Explore.Nanos)
+	}
+}
+
+// TestExploreMetricsCancellation checks a context-cancelled exploration is
+// visible in the telemetry.
+func TestExploreMetricsCancellation(t *testing.T) {
+	m := obs.Enable()
+	defer obs.Disable()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExploreContext[int](ctx, ringAfterPath{depth: 512}, []int{0},
+		Options{Workers: 2}); err == nil {
+		t.Fatal("cancelled exploration returned no error")
+	}
+	if got := m.Snapshot().Explore.Cancellations; got != 1 {
+		t.Fatalf("Cancellations = %d, want 1", got)
+	}
+}
+
+// TestParallelExploreAllocsPerStateObs re-runs the engine's allocation
+// guard with telemetry enabled: the observation path is atomics only and
+// must fit the same 10 objects/state budget as the disabled path.
+func TestParallelExploreAllocsPerStateObs(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	const n = 512
+	g := ringAfterPath{depth: n}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := ExploreParallel[int](g, []int{0}, Options{MaxStates: n + 10, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumStates != n+3 {
+			t.Fatalf("NumStates = %d", res.NumStates)
+		}
+	})
+	perState := allocs / float64(n)
+	if perState > 10 {
+		t.Fatalf("ExploreParallel with telemetry allocates %.1f objects/state (total %.0f), budget 10", perState, allocs)
+	}
+}
+
+// BenchmarkExploreParallelObs measures the engine with telemetry off and
+// on; the "off" case guards the disabled-path overhead of the
+// instrumentation (a captured-nil check per observation site).
+func BenchmarkExploreParallelObs(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			if mode.enabled {
+				obs.Enable()
+				defer obs.Disable()
+			}
+			const n = 2048
+			g := ringAfterPath{depth: n}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ExploreParallel[int](g, []int{0}, Options{MaxStates: n + 10, Workers: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer for tests that write from a
+// background goroutine (the periodic emitter).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestCountersExactUnderConcurrency is the telemetry-exactness property
+// test: N goroutines hammer every instrument kind concurrently (with
+// snapshots racing against them), and the final snapshot must equal the
+// known totals exactly — counters and histograms lose nothing under
+// contention. Run under -race in CI.
+func TestCountersExactUnderConcurrency(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 10_000
+	)
+	m := Enable()
+	defer Disable()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sm, em := m.Sched(), m.Explore()
+			for i := 0; i < perG; i++ {
+				sm.Steps.Inc()
+				sm.NullsSkipped.Add(3)
+				sm.GeomSkips.Observe(int64(i % 128))
+				em.InternShard.Add(g, 1)
+				m.Sim().WorkerNanos.Add(g, 2)
+				if i%1024 == 0 {
+					_ = m.Snapshot() // snapshots race with writers by design
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := m.Snapshot()
+	if want := int64(goroutines * perG); s.Sched.Steps != want {
+		t.Errorf("Steps = %d, want %d", s.Sched.Steps, want)
+	}
+	if want := int64(3 * goroutines * perG); s.Sched.NullsSkipped != want {
+		t.Errorf("NullsSkipped = %d, want %d", s.Sched.NullsSkipped, want)
+	}
+	h := s.Sched.GeomSkips
+	if want := int64(goroutines * perG); h.Count != want {
+		t.Errorf("GeomSkips.Count = %d, want %d", h.Count, want)
+	}
+	// Σ (i % 128) over perG iterations, per goroutine.
+	var sumPerG int64
+	for i := 0; i < perG; i++ {
+		sumPerG += int64(i % 128)
+	}
+	if want := sumPerG * goroutines; h.Sum != want {
+		t.Errorf("GeomSkips.Sum = %d, want %d", h.Sum, want)
+	}
+	if h.Min != 0 || h.Max != 127 {
+		t.Errorf("GeomSkips min/max = %d/%d, want 0/127", h.Min, h.Max)
+	}
+	var bucketTotal int64
+	for _, b := range h.Log2Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != h.Count {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, h.Count)
+	}
+	for g := 0; g < goroutines; g++ {
+		if got := m.Explore().InternShard.Load(g); got != perG {
+			t.Errorf("InternShard[%d] = %d, want %d", g, got, perG)
+		}
+		if got := m.Sim().WorkerNanos.Load(g); got != 2*perG {
+			t.Errorf("WorkerNanos[%d] = %d, want %d", g, got, 2*perG)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import "sync/atomic"
+
+// SchedMetrics instruments internal/sched's schedulers.
+type SchedMetrics struct {
+	// Steps counts scheduling decisions (interactions), including null
+	// interactions that were skipped analytically rather than simulated.
+	Steps Counter
+	// Effective counts decisions that changed the configuration.
+	Effective Counter
+	// NullsSkipped counts null interactions that the batched fast path
+	// collapsed into geometric draws instead of simulating one by one.
+	NullsSkipped Counter
+	// GeomSkips records the length of each geometric null-run draw, i.e.
+	// how many null interactions one draw replaced.
+	GeomSkips Hist
+	// FenwickRebuilds counts full Fenwick-index rebuilds (scheduler
+	// attaching to a configuration it was not tracking).
+	FenwickRebuilds Counter
+}
+
+// SimMetrics instruments internal/simulate's runner and measurement pool.
+type SimMetrics struct {
+	// RunsStarted / RunsFinished count simulation runs entering and
+	// successfully leaving Run; the difference is in-flight or failed runs.
+	RunsStarted  Counter
+	RunsFinished Counter
+	// Convergence records each finished run's ConvergenceStep.
+	Convergence Hist
+	// Quiescent counts runs that ended definitely stable (no enabled
+	// transition) rather than via the heuristic window.
+	Quiescent Counter
+	// WorkerRuns / WorkerNanos record, per measurement worker, how many
+	// runs it completed and how long it was busy; together they expose the
+	// pool's utilisation balance. Slot 0 is the sequential path.
+	WorkerRuns  Vec
+	WorkerNanos Vec
+}
+
+// ExploreMetrics instruments internal/explore's engines and interner.
+type ExploreMetrics struct {
+	// Explorations counts Explore/ExploreContext invocations.
+	Explorations Counter
+	// Levels counts BFS levels expanded by the parallel engine.
+	Levels Counter
+	// Frontier records the frontier width of each expanded BFS level.
+	Frontier Hist
+	// States counts distinct states interned across all explorations.
+	States Counter
+	// Edges counts edges committed to the reachable graph.
+	Edges Counter
+	// Nanos accumulates wall time spent inside the engines; States/Nanos
+	// is the live states-per-second rate surfaced in snapshots.
+	Nanos Counter
+	// Cancellations counts explorations aborted by context cancellation.
+	Cancellations Counter
+	// InternArenaBytes is the total key bytes stored in interner arenas.
+	InternArenaBytes Counter
+	// InternCollisions counts inserts whose 64-bit hash bucket was already
+	// occupied by a different key (true hash collisions).
+	InternCollisions Counter
+	// InternShard counts interned entries per shard; imbalance here means
+	// the hash is clumping keys onto few shards.
+	InternShard Vec
+}
+
+// Metrics is one complete set of instruments. Subsystems obtain their group
+// through the nil-safe accessors, so a nil *Metrics (telemetry disabled)
+// propagates into nil groups whose instruments all no-op.
+type Metrics struct {
+	sched   SchedMetrics
+	sim     SimMetrics
+	explore ExploreMetrics
+}
+
+// Sched returns the scheduler instrument group (nil when m is nil).
+func (m *Metrics) Sched() *SchedMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.sched
+}
+
+// Sim returns the simulation instrument group (nil when m is nil).
+func (m *Metrics) Sim() *SimMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.sim
+}
+
+// Explore returns the exploration instrument group (nil when m is nil).
+func (m *Metrics) Explore() *ExploreMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.explore
+}
+
+// current is the process-wide metric set; nil means telemetry is disabled
+// (the default).
+var current atomic.Pointer[Metrics]
+
+// Enable installs a fresh Metrics as the process-wide set and returns it.
+// Instrument sites capture the set when they are constructed, so Enable
+// before building schedulers/runners (the binaries enable it right after
+// flag parsing).
+func Enable() *Metrics {
+	m := &Metrics{}
+	current.Store(m)
+	return m
+}
+
+// Disable removes the process-wide set; subsequent instrument captures see
+// telemetry off. Already-captured groups keep working against the detached
+// set, which stays valid but is no longer snapshotted.
+func Disable() {
+	current.Store(nil)
+}
+
+// Current returns the process-wide metric set, or nil when disabled.
+func Current() *Metrics {
+	return current.Load()
+}
+
+// Sched returns the current scheduler instrument group (nil when disabled).
+func Sched() *SchedMetrics { return Current().Sched() }
+
+// Sim returns the current simulation instrument group (nil when disabled).
+func Sim() *SimMetrics { return Current().Sim() }
+
+// Explore returns the current exploration instrument group (nil when
+// disabled).
+func Explore() *ExploreMetrics { return Current().Explore() }

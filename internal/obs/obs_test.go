@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilReceiversNoop pins the disabled-telemetry contract: every
+// instrument method must be callable on a nil receiver without panicking or
+// observing anything.
+func TestNilReceiversNoop(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Fatal("nil Counter loaded non-zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Max(9)
+	if g.Load() != 0 {
+		t.Fatal("nil Gauge loaded non-zero")
+	}
+	var h *Hist
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil Hist observed")
+	}
+	var v *Vec
+	v.Add(3, 1)
+	if v.Load(3) != 0 {
+		t.Fatal("nil Vec loaded non-zero")
+	}
+	var m *Metrics
+	if m.Sched() != nil || m.Sim() != nil || m.Explore() != nil {
+		t.Fatal("nil Metrics returned a non-nil group")
+	}
+	// With telemetry disabled the group accessors return nil, which is the
+	// branch every instrumentation site guards on.
+	Disable()
+	if Sched() != nil || Sim() != nil || Explore() != nil {
+		t.Fatal("disabled accessors returned non-nil groups")
+	}
+	if s, ok := Snapshot(); ok || s.Sched.Steps != 0 {
+		t.Fatalf("disabled Snapshot = %+v, ok=%v", s, ok)
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Max(5)
+	g.Max(3)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("Gauge.Max kept %d, want 5", got)
+	}
+	g.Set(1)
+	if got := g.Load(); got != 1 {
+		t.Fatalf("Gauge.Set kept %d, want 1", got)
+	}
+}
+
+func TestHistSnapshotExact(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 1024, -7} { // -7 clamps to 0
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 || s.Sum != 1030 || s.Min != 0 || s.Max != 1024 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Buckets: 0 → bucket 0 (twice), 1 → 1, 2..3 → 2 (two values), 1024 → 11.
+	want := []int64{2, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	if len(s.Log2Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Log2Buckets, want)
+	}
+	for i, w := range want {
+		if s.Log2Buckets[i] != w {
+			t.Fatalf("buckets = %v, want %v", s.Log2Buckets, want)
+		}
+	}
+	if s.Mean == 0 {
+		t.Fatal("mean not derived")
+	}
+	var empty Hist
+	if es := empty.snapshot(); es.Count != 0 || es.Min != 0 || es.Log2Buckets != nil {
+		t.Fatalf("empty snapshot = %+v", es)
+	}
+}
+
+func TestVecWraps(t *testing.T) {
+	var v Vec
+	v.Add(1, 2)
+	v.Add(1+VecWidth, 3) // wraps onto slot 1
+	if got := v.Load(1); got != 5 {
+		t.Fatalf("slot 1 = %d, want 5", got)
+	}
+	snap := v.snapshot()
+	if len(snap) != 2 || snap[0] != 0 || snap[1] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+// TestEnableSnapshotRoundTrip drives a few instruments through the enabled
+// global set and checks the JSON snapshot carries them through unmarshalling
+// — the same well-formedness the binaries' -metrics output relies on.
+func TestEnableSnapshotRoundTrip(t *testing.T) {
+	m := Enable()
+	defer Disable()
+	m.Sched().Steps.Add(42)
+	m.Sched().GeomSkips.Observe(17)
+	m.Sim().WorkerNanos.Add(2, 1000)
+	m.Explore().InternShard.Add(63, 4)
+	m.Explore().States.Add(10)
+	m.Explore().Nanos.Add(2_000_000_000)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("WriteJSON did not emit exactly one line: %q", line)
+	}
+	var s Snap
+	if err := json.Unmarshal([]byte(line), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, line)
+	}
+	if s.Sched.Steps != 42 || s.Sched.GeomSkips.Count != 1 || s.Sched.GeomSkips.Max != 17 {
+		t.Fatalf("sched snap = %+v", s.Sched)
+	}
+	if len(s.Sim.WorkerNanos) != 3 || s.Sim.WorkerNanos[2] != 1000 {
+		t.Fatalf("sim snap = %+v", s.Sim)
+	}
+	if len(s.Explore.InternShard) != 64 || s.Explore.InternShard[63] != 4 {
+		t.Fatalf("explore shard snap = %v", s.Explore.InternShard)
+	}
+	if s.Explore.StatesPerSec != 5 {
+		t.Fatalf("states/sec = %v, want 5", s.Explore.StatesPerSec)
+	}
+}
+
+func TestStartEmitterEmitsValidJSONLines(t *testing.T) {
+	Enable()
+	defer Disable()
+	var buf syncBuffer
+	stop := StartEmitter(&buf, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("emitter produced %d lines, want ≥ 2 (immediate + ticks)", len(lines))
+	}
+	for i, l := range lines {
+		var s Snap
+		if err := json.Unmarshal([]byte(l), &s); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, l)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package obshttp serves the live debug endpoints of a long-running
+// invocation: net/http/pprof profiles under /debug/pprof/ and expvar
+// (including the current obs snapshot, published as "obs") under
+// /debug/vars. It is separate from package obs so that binaries which never
+// enable -pprof do not link the HTTP stack into instrumented libraries.
+package obshttp
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+
+	"repro/internal/obs"
+)
+
+var publishOnce sync.Once
+
+// Serve publishes the obs snapshot through expvar and serves the default
+// mux (pprof + expvar debug endpoints) on addr in a background goroutine.
+// It returns the bound address (useful with a ":0" port) once the listener
+// is up, so address errors surface immediately; serving errors after that
+// are dropped (the debug server is best-effort and dies with the process).
+func Serve(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			s, _ := obs.Snapshot()
+			return s
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// HistSnap is the frozen form of a Hist.
+type HistSnap struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Log2Buckets[i] counts observations of bit-length i (bucket 0 is the
+	// value 0, bucket i ≥ 1 is [2^(i−1), 2^i)); trailing zero buckets are
+	// trimmed.
+	Log2Buckets []int64 `json:"log2_buckets,omitempty"`
+}
+
+// SchedSnap is the frozen scheduler group.
+type SchedSnap struct {
+	Steps           int64    `json:"steps"`
+	Effective       int64    `json:"effective"`
+	NullsSkipped    int64    `json:"nulls_skipped"`
+	GeomSkips       HistSnap `json:"geom_skips"`
+	FenwickRebuilds int64    `json:"fenwick_rebuilds"`
+}
+
+// SimSnap is the frozen simulation group.
+type SimSnap struct {
+	RunsStarted  int64    `json:"runs_started"`
+	RunsFinished int64    `json:"runs_finished"`
+	Convergence  HistSnap `json:"convergence"`
+	Quiescent    int64    `json:"quiescent"`
+	WorkerRuns   []int64  `json:"worker_runs,omitempty"`
+	WorkerNanos  []int64  `json:"worker_nanos,omitempty"`
+}
+
+// ExploreSnap is the frozen exploration group. StatesPerSec is derived:
+// States divided by the engine-internal wall time.
+type ExploreSnap struct {
+	Explorations     int64    `json:"explorations"`
+	Levels           int64    `json:"levels"`
+	Frontier         HistSnap `json:"frontier"`
+	States           int64    `json:"states"`
+	Edges            int64    `json:"edges"`
+	Nanos            int64    `json:"nanos"`
+	StatesPerSec     float64  `json:"states_per_sec"`
+	Cancellations    int64    `json:"cancellations"`
+	InternArenaBytes int64    `json:"intern_arena_bytes"`
+	InternCollisions int64    `json:"intern_collisions"`
+	InternShard      []int64  `json:"intern_shard,omitempty"`
+}
+
+// Snap is a point-in-time copy of every instrument, as plain data. It is
+// what -metrics prints and what /debug/vars exposes.
+type Snap struct {
+	Sched   SchedSnap   `json:"sched"`
+	Sim     SimSnap     `json:"sim"`
+	Explore ExploreSnap `json:"explore"`
+}
+
+// Snapshot freezes m. Safe to call concurrently with live instrumentation;
+// each field is individually exact at its read point.
+func (m *Metrics) Snapshot() Snap {
+	var s Snap
+	if m == nil {
+		return s
+	}
+	s.Sched = SchedSnap{
+		Steps:           m.sched.Steps.Load(),
+		Effective:       m.sched.Effective.Load(),
+		NullsSkipped:    m.sched.NullsSkipped.Load(),
+		GeomSkips:       m.sched.GeomSkips.snapshot(),
+		FenwickRebuilds: m.sched.FenwickRebuilds.Load(),
+	}
+	s.Sim = SimSnap{
+		RunsStarted:  m.sim.RunsStarted.Load(),
+		RunsFinished: m.sim.RunsFinished.Load(),
+		Convergence:  m.sim.Convergence.snapshot(),
+		Quiescent:    m.sim.Quiescent.Load(),
+		WorkerRuns:   m.sim.WorkerRuns.snapshot(),
+		WorkerNanos:  m.sim.WorkerNanos.snapshot(),
+	}
+	s.Explore = ExploreSnap{
+		Explorations:     m.explore.Explorations.Load(),
+		Levels:           m.explore.Levels.Load(),
+		Frontier:         m.explore.Frontier.snapshot(),
+		States:           m.explore.States.Load(),
+		Edges:            m.explore.Edges.Load(),
+		Nanos:            m.explore.Nanos.Load(),
+		Cancellations:    m.explore.Cancellations.Load(),
+		InternArenaBytes: m.explore.InternArenaBytes.Load(),
+		InternCollisions: m.explore.InternCollisions.Load(),
+		InternShard:      m.explore.InternShard.snapshot(),
+	}
+	if s.Explore.Nanos > 0 {
+		s.Explore.StatesPerSec = float64(s.Explore.States) / (float64(s.Explore.Nanos) / 1e9)
+	}
+	return s
+}
+
+// Snapshot freezes the process-wide metric set. ok is false when telemetry
+// is disabled (the zero Snap is returned).
+func Snapshot() (s Snap, ok bool) {
+	m := Current()
+	if m == nil {
+		return Snap{}, false
+	}
+	return m.Snapshot(), true
+}
+
+// WriteJSON writes the current snapshot to w as a single JSON line. When
+// telemetry is disabled it writes a zero snapshot, so callers always emit
+// well-formed JSON.
+func WriteJSON(w io.Writer) error {
+	s, _ := Snapshot()
+	enc, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// StartEmitter writes one snapshot line to w immediately and then every
+// interval, until the returned stop function is called. Emission errors stop
+// the emitter silently (progress lines are best-effort). stop waits for the
+// emitter goroutine to exit, so it is safe to close or reuse w afterwards.
+func StartEmitter(w io.Writer, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		if WriteJSON(w) != nil {
+			return
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if WriteJSON(w) != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

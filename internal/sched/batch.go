@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/multiset"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -87,6 +88,10 @@ type BatchRandomPair struct {
 	// would overflow int64 (gigantic populations or degenerate lcm).
 	noSkip bool
 	onFire func(protocol.Transition)
+	// met is the telemetry group captured at construction; nil when
+	// telemetry is disabled. Observations on the per-step path happen
+	// per decision; on the skip path they happen once per geometric draw.
+	met *obs.SchedMetrics
 }
 
 var _ BatchScheduler = (*BatchRandomPair)(nil)
@@ -113,6 +118,7 @@ func newBatchRandomPair(p *protocol.Protocol, rng source) *BatchRandomPair {
 		byState:       make([][]int, p.NumStates()),
 		lambda:        1,
 		skipThreshold: defaultSkipThreshold,
+		met:           obs.Sched(),
 	}
 	// Collect reactive keys in deterministic (transition declaration)
 	// order so sampling is reproducible across runs of the same seed.
@@ -169,6 +175,9 @@ func lcm(a, b int64) int64 {
 func (s *BatchRandomPair) attach(c *multiset.Multiset) {
 	if s.attached == c {
 		return
+	}
+	if s.met != nil {
+		s.met.FenwickRebuilds.Inc()
 	}
 	s.attached = c
 	counts := make([]int64, c.Len())
@@ -246,6 +255,9 @@ func (s *BatchRandomPair) apply(c *multiset.Multiset, t protocol.Transition) {
 			s.weights[ki] = w
 		}
 	}
+	if s.met != nil {
+		s.met.Effective.Inc()
+	}
 	if s.onFire != nil {
 		s.onFire(t)
 	}
@@ -258,6 +270,9 @@ func (s *BatchRandomPair) Step(c *multiset.Multiset) bool {
 	m := c.Size()
 	if m < 2 {
 		panic(fmt.Sprintf("sched: cannot sample an agent pair from a population of %d", m))
+	}
+	if s.met != nil {
+		s.met.Steps.Inc()
 	}
 	q := s.fen.find(s.rng.Int63n(m))
 	// Exclude one agent of state q while drawing the responder, exactly
@@ -300,6 +315,10 @@ func (s *BatchRandomPair) StepN(c *multiset.Multiset, n int64) int64 {
 			// No reactive pair is enabled: the configuration can never
 			// change again under random pairing; the rest of the batch is
 			// all null interactions.
+			if s.met != nil {
+				s.met.Steps.Add(n - taken)
+				s.met.NullsSkipped.Add(n - taken)
+			}
 			return effective
 		}
 		pEff := float64(s.totalW) / float64(s.lambda*m*(m-1))
@@ -313,8 +332,20 @@ func (s *BatchRandomPair) StepN(c *multiset.Multiset, n int64) int64 {
 		// Skip the run of nulls before the next effective step in one
 		// geometric draw.
 		skip := geometricSkip(s.rng, pEff)
+		if s.met != nil {
+			s.met.GeomSkips.Observe(skip)
+		}
 		if skip >= n-taken {
+			if s.met != nil {
+				// Only n−taken of the drawn nulls fall inside this batch.
+				s.met.Steps.Add(n - taken)
+				s.met.NullsSkipped.Add(n - taken)
+			}
 			return effective // the batch ends inside the null run
+		}
+		if s.met != nil {
+			s.met.Steps.Add(skip + 1)
+			s.met.NullsSkipped.Add(skip)
 		}
 		taken += skip + 1
 		// Sample the effective step from the exact conditional law:

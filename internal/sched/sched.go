@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"repro/internal/multiset"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -62,6 +63,10 @@ type RandomPair struct {
 	// onFire, when non-nil, observes every non-silent transition fired.
 	// The equivalence tests use it to collect firing frequencies.
 	onFire func(protocol.Transition)
+	// met is the telemetry group captured at construction; nil when
+	// telemetry is disabled, in which case every observation is skipped
+	// behind a single branch.
+	met *obs.SchedMetrics
 }
 
 var _ Scheduler = (*RandomPair)(nil)
@@ -72,7 +77,7 @@ func NewRandomPair(p *protocol.Protocol, rng *rand.Rand) *RandomPair {
 }
 
 func newRandomPair(p *protocol.Protocol, rng source) *RandomPair {
-	return &RandomPair{p: p, rng: rng, index: pairIndex(p)}
+	return &RandomPair{p: p, rng: rng, index: pairIndex(p), met: obs.Sched()}
 }
 
 // pairIndex groups a protocol's transitions by ordered (initiator,
@@ -112,6 +117,9 @@ func sampleAgent(rng source, c *multiset.Multiset, exclude int, excludeOne bool)
 
 // Step implements Scheduler. It requires |c| ≥ 2.
 func (s *RandomPair) Step(c *multiset.Multiset) bool {
+	if s.met != nil {
+		s.met.Steps.Inc()
+	}
 	q := sampleAgent(s.rng, c, 0, false)
 	r := sampleAgent(s.rng, c, q, true)
 	candidates := s.index[pairKey{q, r}]
@@ -123,6 +131,9 @@ func (s *RandomPair) Step(c *multiset.Multiset) bool {
 		return false
 	}
 	s.p.Apply(c, t)
+	if s.met != nil {
+		s.met.Effective.Inc()
+	}
 	if s.onFire != nil {
 		s.onFire(t)
 	}
@@ -138,22 +149,29 @@ type TransitionFair struct {
 	p       *protocol.Protocol
 	rng     *rand.Rand
 	stepper *protocol.Stepper
+	met     *obs.SchedMetrics
 }
 
 var _ Scheduler = (*TransitionFair)(nil)
 
 // NewTransitionFair builds a TransitionFair scheduler for protocol p.
 func NewTransitionFair(p *protocol.Protocol, rng *rand.Rand) *TransitionFair {
-	return &TransitionFair{p: p, rng: rng, stepper: protocol.NewStepper(p)}
+	return &TransitionFair{p: p, rng: rng, stepper: protocol.NewStepper(p), met: obs.Sched()}
 }
 
 // Step implements Scheduler.
 func (s *TransitionFair) Step(c *multiset.Multiset) bool {
+	if s.met != nil {
+		s.met.Steps.Inc()
+	}
 	enabled := s.stepper.EnabledTransitions(c)
 	if len(enabled) == 0 {
 		return false
 	}
 	s.p.Apply(c, enabled[s.rng.Intn(len(enabled))])
+	if s.met != nil {
+		s.met.Effective.Inc()
+	}
 	return true
 }
 

@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/multiset"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sched"
 )
@@ -130,9 +132,29 @@ func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Opt
 	if c.Size() == 0 {
 		return nil, fmt.Errorf("simulate: protocol %q: empty configuration", p.Name)
 	}
-	if bs, ok := s.(sched.BatchScheduler); ok && opts.BatchSize > 0 {
-		return runBatched(p, c, bs, opts)
+	met := obs.Sim()
+	if met != nil {
+		met.RunsStarted.Inc()
 	}
+	var res *Result
+	var err error
+	if bs, ok := s.(sched.BatchScheduler); ok && opts.BatchSize > 0 {
+		res, err = runBatched(p, c, bs, opts)
+	} else {
+		res, err = runPerStep(p, c, s, opts)
+	}
+	if met != nil && err == nil {
+		met.RunsFinished.Inc()
+		met.Convergence.Observe(res.ConvergenceStep)
+		if res.Quiescent {
+			met.Quiescent.Inc()
+		}
+	}
+	return res, err
+}
+
+// runPerStep is Run's per-interaction reference path.
+func runPerStep(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Options) (*Result, error) {
 	maxSteps := opts.maxSteps()
 	window := opts.stableWindow()
 	period := opts.quiescencePeriod()
@@ -304,9 +326,18 @@ func measureRuns(p *protocol.Protocol, inputCounts []int64, runs int, seed int64
 	if workers > runs {
 		workers = runs
 	}
+	met := obs.Sim()
 	if workers == 1 {
 		for i := 0; i < runs; i++ {
+			var t0 time.Time
+			if met != nil {
+				t0 = time.Now()
+			}
 			results[i], errs[i] = convergenceRun(p, inputCounts, i, seed, opts)
+			if met != nil {
+				met.WorkerRuns.Add(0, 1)
+				met.WorkerNanos.Add(0, time.Since(t0).Nanoseconds())
+			}
 			if errs[i] != nil {
 				break // match the sequential short-circuit exactly
 			}
@@ -316,12 +347,20 @@ func measureRuns(p *protocol.Protocol, inputCounts []int64, runs int, seed int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for i := range jobs {
+					var t0 time.Time
+					if met != nil {
+						t0 = time.Now()
+					}
 					results[i], errs[i] = convergenceRun(p, inputCounts, i, seed, opts)
+					if met != nil {
+						met.WorkerRuns.Add(w, 1)
+						met.WorkerNanos.Add(w, time.Since(t0).Nanoseconds())
+					}
 				}
-			}()
+			}(w)
 		}
 		for i := 0; i < runs; i++ {
 			jobs <- i
