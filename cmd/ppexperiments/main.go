@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	ppexperiments [-markdown] [-quick] [-seed N] [-batch N] [-workers W] [-explore-workers W]
-//	              [-metrics] [-metrics-interval D] [-pprof ADDR]
+//	ppexperiments [-markdown] [-quick] [-seed N] [-batch N] [-kernel K] [-workers W]
+//	              [-explore-workers W] [-metrics] [-metrics-interval D] [-pprof ADDR]
 //
 // -quick shrinks every sweep to its smallest meaningful size (useful for
 // smoke tests); -markdown emits the tables in the format EXPERIMENTS.md
 // embeds. -batch and -workers route the convergence experiment through the
-// batched fast-path scheduler and a run-level worker pool. -explore-workers
+// batched fast-path scheduler and a run-level worker pool; -kernel selects
+// its interaction kernel (exact | batch | auto — see ppsim). -explore-workers
 // sets the frontier-expansion worker count of the parallel model checker
 // used by the exhaustive checks (0 = one per CPU); every table is
 // bit-identical for any value.
@@ -30,7 +31,18 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs/obsflag"
+	"repro/internal/simulate"
 )
+
+// validKernel reports whether k is an accepted -kernel value (empty keeps
+// the batch-size-driven scheduler selection).
+func validKernel(k string) bool {
+	switch k {
+	case "", simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto:
+		return true
+	}
+	return false
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -48,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "seed for randomised experiments")
 	batch := fs.Int64("batch", 0,
 		"batched fast-path chunk size for the convergence experiment (0 = per-step)")
+	kernel := fs.String("kernel", "",
+		"interaction kernel for the convergence experiment: exact | batch | auto")
 	workers := fs.Int("workers", 1,
 		"worker goroutines for the convergence experiment's runs")
 	exploreWorkers := fs.Int("explore-workers", 0,
@@ -69,6 +83,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usageErr(fmt.Errorf("-batch must be ≥ 0, got %d", *batch))
 	case *exploreWorkers < 0:
 		return usageErr(fmt.Errorf("-explore-workers must be ≥ 0, got %d", *exploreWorkers))
+	case !validKernel(*kernel):
+		return usageErr(fmt.Errorf("-kernel must be one of %q, %q, %q, got %q",
+			simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto, *kernel))
 	}
 	stopTelemetry, err := telemetry.Start(stderr)
 	if err != nil {
@@ -92,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.ConvergenceBatch = *batch
 	cfg.ConvergenceWorkers = *workers
+	cfg.ConvergenceKernel = *kernel
 	cfg.ExploreWorkers = *exploreWorkers
 
 	tables, err := experiments.All(cfg)

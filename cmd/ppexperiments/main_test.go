@@ -21,6 +21,7 @@ func TestRunFlagValidation(t *testing.T) {
 		{"negative workers", []string{"-workers", "-3"}, "-workers must be ≥ 1"},
 		{"negative batch", []string{"-batch", "-1"}, "-batch must be ≥ 0"},
 		{"negative explore workers", []string{"-explore-workers", "-1"}, "-explore-workers must be ≥ 0"},
+		{"bogus kernel", []string{"-kernel", "turbo"}, "-kernel must be one of"},
 		{"negative metrics interval", []string{"-metrics-interval", "-2s"}, "-metrics-interval must be ≥ 0"},
 		{"non-numeric flag", []string{"-batch", "x"}, "invalid value"},
 		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},

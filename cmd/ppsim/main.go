@@ -13,9 +13,16 @@
 // Protocol targets (majority, unary:k, binary:j, remainder:m) run under the
 // uniform random-pair scheduler and report interactions and parallel time.
 // -batch N enables the batched fast-path scheduler (distribution-preserving
-// null-interaction skipping); -runs R repeats the run R times with seeds
-// seed..seed+R-1 and reports convergence summary statistics, optionally in
-// parallel with -workers W (results are identical for any worker count).
+// null-interaction skipping); -kernel selects the interaction kernel
+// instead: exact (per-step law with geometric null skipping), batch (the
+// count-based collision kernel advancing whole tau-leap rounds — the
+// large-n fast path), or auto (batch for populations of ≥ 4096 agents).
+// Any -kernel implies batched driving with a default chunk of 65,536 steps
+// when -batch is 0. -window and -qperiod override the stable-window and
+// quiescence-check lengths for large-n runs. -runs R repeats the run R
+// times with seeds seed..seed+R-1 and reports convergence summary
+// statistics, optionally in parallel with -workers W (results are identical
+// for any worker count).
 // Program targets (figure1, czerner:n, equality:n, or a .pop file given
 // with -program) run the population-program interpreter with a seeded
 // random oracle and report the stabilised output flag, steps and restarts.
@@ -65,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scheduler := fs.String("scheduler", "pair", "protocol scheduler: pair | batch | fair")
 	batch := fs.Int64("batch", 0,
 		"batched fast-path chunk size for protocol targets (0 = per-step; implies -scheduler batch when set)")
+	kernel := fs.String("kernel", "",
+		"interaction kernel for protocol targets: exact | batch | auto (overrides -scheduler; implies batching)")
+	window := fs.Int64("window", 0, "stable-window length for protocol targets (0 = default 10000)")
+	qperiod := fs.Int64("qperiod", 0, "quiescence-check period for protocol targets (0 = default 1000)")
 	runs := fs.Int("runs", 1, "repeat protocol runs this many times (seeds seed..seed+runs-1) and report summary statistics")
 	workers := fs.Int("workers", 1, "worker goroutines for -runs > 1 (results are identical for any worker count)")
 	telemetry := obsflag.Register(fs)
@@ -86,6 +97,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usageErr(fmt.Errorf("-batch must be ≥ 0, got %d", *batch))
 	case *budget < 0:
 		return usageErr(fmt.Errorf("-budget must be ≥ 0, got %d", *budget))
+	case *window < 0:
+		return usageErr(fmt.Errorf("-window must be ≥ 0, got %d", *window))
+	case *qperiod < 0:
+		return usageErr(fmt.Errorf("-qperiod must be ≥ 0, got %d", *qperiod))
+	case !validKernel(*kernel):
+		return usageErr(fmt.Errorf("-kernel must be one of %q, %q, %q, got %q",
+			simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto, *kernel))
+	case *kernel != "" && *scheduler == "fair":
+		return usageErr(errors.New("-kernel only applies to the pair/batch schedulers, not fair"))
 	case *input == "":
 		return usageErr(errors.New("-input is required"))
 	}
@@ -105,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed:      *seed,
 		budget:    *budget,
 		batch:     *batch,
+		kernel:    *kernel,
+		window:    *window,
+		qperiod:   *qperiod,
 		runs:      *runs,
 		workers:   *workers,
 	}
@@ -232,17 +255,36 @@ func parseCounts(s string) ([]int64, error) {
 
 // simOptions collects the protocol-simulation knobs of the CLI.
 type simOptions struct {
-	scheduler     string
-	seed, budget  int64
-	batch         int64
-	runs, workers int
+	scheduler       string
+	seed, budget    int64
+	batch           int64
+	kernel          string
+	window, qperiod int64
+	runs, workers   int
+}
+
+// validKernel reports whether k is an accepted -kernel value (empty keeps
+// the -scheduler/-batch selection).
+func validKernel(k string) bool {
+	switch k {
+	case "", simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto:
+		return true
+	}
+	return false
 }
 
 func simulateProtocol(w io.Writer, p *protocol.Protocol, counts []int64, so simOptions) error {
 	if so.batch > 0 && so.scheduler == "pair" {
 		so.scheduler = "batch"
 	}
-	opts := simulate.Options{MaxSteps: so.budget, BatchSize: so.batch, Workers: so.workers}
+	opts := simulate.Options{
+		MaxSteps:         so.budget,
+		StableWindow:     so.window,
+		QuiescencePeriod: so.qperiod,
+		BatchSize:        so.batch,
+		Kernel:           so.kernel,
+		Workers:          so.workers,
+	}
 	if so.runs > 1 {
 		if so.scheduler == "fair" {
 			return errors.New("-runs > 1 only supports the pair/batch schedulers")
@@ -259,20 +301,35 @@ func simulateProtocol(w io.Writer, p *protocol.Protocol, counts []int64, so simO
 			p.Name, p.NumStates(), len(p.Transitions))
 		fmt.Fprintf(w, "input:         %v (m = %d)\n", counts, m)
 		fmt.Fprintf(w, "runs:          %d (workers %d, batch %d)\n", so.runs, so.workers, so.batch)
+		if so.kernel != "" {
+			fmt.Fprintf(w, "kernel:        %s\n", so.kernel)
+		}
 		fmt.Fprintf(w, "interactions:  %v\n", simulate.Summarise(samples))
 		return nil
 	}
 	rng := sched.NewRand(so.seed)
 	var s sched.Scheduler
-	switch so.scheduler {
-	case "pair":
-		s = sched.NewRandomPair(p, rng)
-	case "batch":
-		s = sched.NewBatchRandomPair(p, rng)
-	case "fair":
-		s = sched.NewTransitionFair(p, rng)
-	default:
-		return fmt.Errorf("unknown scheduler %q", so.scheduler)
+	if so.kernel != "" {
+		var m int64
+		for _, c := range counts {
+			m += c
+		}
+		ks, err := simulate.NewKernelScheduler(p, rng, so.kernel, m)
+		if err != nil {
+			return err
+		}
+		s = ks
+	} else {
+		switch so.scheduler {
+		case "pair":
+			s = sched.NewRandomPair(p, rng)
+		case "batch":
+			s = sched.NewBatchRandomPair(p, rng)
+		case "fair":
+			s = sched.NewTransitionFair(p, rng)
+		default:
+			return fmt.Errorf("unknown scheduler %q", so.scheduler)
+		}
 	}
 	res, err := simulate.RunInput(p, counts, s, opts)
 	if err != nil {
@@ -281,6 +338,9 @@ func simulateProtocol(w io.Writer, p *protocol.Protocol, counts []int64, so simO
 	fmt.Fprintf(w, "protocol:      %s (%d states, %d transitions)\n",
 		p.Name, p.NumStates(), len(p.Transitions))
 	fmt.Fprintf(w, "input:         %v (m = %d)\n", counts, res.Final.Size())
+	if so.kernel != "" {
+		fmt.Fprintf(w, "kernel:        %s\n", so.kernel)
+	}
 	fmt.Fprintf(w, "output:        %v\n", res.Output)
 	fmt.Fprintf(w, "interactions:  %d (%d effective)\n", res.Steps, res.EffectiveSteps)
 	fmt.Fprintf(w, "parallel time: %.1f\n", res.ParallelTime())

@@ -96,6 +96,41 @@ func TestSimulatePathsSmoke(t *testing.T) {
 		popprog.DecideOptions{}); err != nil {
 		t.Fatal(err)
 	}
+	for _, kernel := range []string{"exact", "batch", "auto"} {
+		k := base
+		k.kernel = kernel
+		if err := simulateProtocol(io.Discard, p, []int64{6, 3}, k); err != nil {
+			t.Fatalf("kernel %q: %v", kernel, err)
+		}
+		k.runs = 3
+		k.workers = 2
+		if err := simulateProtocol(io.Discard, p, []int64{6, 3}, k); err != nil {
+			t.Fatalf("kernel %q, multi-run: %v", kernel, err)
+		}
+	}
+}
+
+// TestRunKernelFlag drives the -kernel flag end to end and pins that the
+// batch kernel's output is deterministic for a fixed seed.
+func TestRunKernelFlag(t *testing.T) {
+	var first string
+	for i := 0; i < 2; i++ {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-target", "majority", "-input", "80,41", "-seed", "9",
+			"-kernel", "batch", "-window", "200", "-qperiod", "500"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit code = %d\nstderr: %s", code, stderr.String())
+		}
+		out := stdout.String()
+		if !strings.Contains(out, "output:") {
+			t.Fatalf("missing output line:\n%s", out)
+		}
+		if i == 0 {
+			first = out
+		} else if out != first {
+			t.Fatalf("batch kernel output not reproducible:\n--- run 1 ---\n%s--- run 2 ---\n%s", first, out)
+		}
+	}
 }
 
 // TestRunFlagValidation pins the CLI contract: invalid flag values exit
@@ -113,6 +148,10 @@ func TestRunFlagValidation(t *testing.T) {
 		{"zero workers", []string{"-target", "majority", "-input", "6,3", "-workers", "0"}, 2, "-workers must be ≥ 1"},
 		{"negative batch", []string{"-target", "majority", "-input", "6,3", "-batch", "-1"}, 2, "-batch must be ≥ 0"},
 		{"negative budget", []string{"-target", "majority", "-input", "6,3", "-budget", "-5"}, 2, "-budget must be ≥ 0"},
+		{"negative window", []string{"-target", "majority", "-input", "6,3", "-window", "-1"}, 2, "-window must be ≥ 0"},
+		{"negative qperiod", []string{"-target", "majority", "-input", "6,3", "-qperiod", "-1"}, 2, "-qperiod must be ≥ 0"},
+		{"bogus kernel", []string{"-target", "majority", "-input", "6,3", "-kernel", "turbo"}, 2, "-kernel must be one of"},
+		{"kernel with fair scheduler", []string{"-target", "majority", "-input", "6,3", "-kernel", "batch", "-scheduler", "fair"}, 2, "-kernel only applies"},
 		{"missing input", []string{"-target", "majority"}, 2, "-input is required"},
 		{"non-numeric flag", []string{"-runs", "x"}, 2, "invalid value"},
 		{"unknown flag", []string{"-definitely-not-a-flag"}, 2, "flag provided but not defined"},

@@ -31,6 +31,10 @@ type Config struct {
 	// ConvergenceWorkers > 1 measures E12's runs on a worker pool. Results
 	// are bit-identical for any worker count; the default is sequential.
 	ConvergenceWorkers int
+	// ConvergenceKernel selects E12's interaction kernel
+	// (simulate.KernelExact/Batch/Auto); empty keeps the legacy
+	// batch-size-driven scheduler selection.
+	ConvergenceKernel string
 	// ExploreWorkers is the frontier-expansion worker count handed to the
 	// parallel exact model checker for the exhaustive checks (E2's machine
 	// verification, E11's baseline verdicts). Zero means one worker per
@@ -90,7 +94,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"theorem2", func() (*Table, error) { return Theorem2(cfg.ExploreWorkers) }},
 		{"convergence", func() (*Table, error) {
 			return Convergence(cfg.ConvergenceSizes, cfg.ConvergenceRuns, cfg.Seed,
-				cfg.ConvergenceBatch, cfg.ConvergenceWorkers)
+				cfg.ConvergenceBatch, cfg.ConvergenceWorkers, cfg.ConvergenceKernel)
 		}},
 		{"profile", func() (*Table, error) {
 			return ProcedureProfile(2, 10, 2_000_000, cfg.Seed)

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/simulate"
 )
 
 func TestTableRender(t *testing.T) {
@@ -178,7 +180,7 @@ func TestTheorem2RobustnessVerdicts(t *testing.T) {
 }
 
 func TestConvergenceSmall(t *testing.T) {
-	tbl, err := Convergence([]int64{8, 16}, 2, 3, 0, 1)
+	tbl, err := Convergence([]int64{8, 16}, 2, 3, 0, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +194,7 @@ func TestConvergenceSmall(t *testing.T) {
 	}
 	// The batched fast path with a worker pool must still decide every run
 	// correctly.
-	fast, err := Convergence([]int64{8, 16}, 2, 3, 64, 2)
+	fast, err := Convergence([]int64{8, 16}, 2, 3, 64, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,6 +205,26 @@ func TestConvergenceSmall(t *testing.T) {
 		if row[4] != "0" {
 			t.Fatalf("wrong outputs in batched convergence run: %v", row)
 		}
+	}
+	// Kernel selection: each named kernel must decide every run correctly
+	// too (tiny populations drive auto/batch into the exact fallback, so
+	// this covers the handoff plumbing rather than the bulk math).
+	for _, kernel := range []string{simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto} {
+		kt, err := Convergence([]int64{8, 16}, 2, 3, 0, 1, kernel)
+		if err != nil {
+			t.Fatalf("kernel %q: %v", kernel, err)
+		}
+		if len(kt.Rows) != 4 {
+			t.Fatalf("kernel %q: %d rows, want 4", kernel, len(kt.Rows))
+		}
+		for _, row := range kt.Rows {
+			if row[4] != "0" {
+				t.Fatalf("kernel %q: wrong outputs in convergence run: %v", kernel, row)
+			}
+		}
+	}
+	if _, err := Convergence([]int64{8}, 1, 3, 0, 1, "bogus"); err == nil {
+		t.Fatal("bogus kernel name accepted")
 	}
 }
 

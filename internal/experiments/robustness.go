@@ -142,9 +142,13 @@ func adversarialPlacement(c *core.Construction, total int64) *multiset.Multiset 
 // batch > 0 routes every run through the batched fast-path scheduler
 // (distribution-preserving; convergence steps are then reported at batch
 // granularity), and workers > 1 measures the runs on a worker pool —
-// results are bit-identical for any worker count. batch = 0, workers ≤ 1
-// reproduces the historical per-step, sequential measurement exactly.
-func Convergence(sizes []int64, runs int, seed int64, batch int64, workers int) (*Table, error) {
+// results are bit-identical for any worker count. batch = 0, workers ≤ 1,
+// kernel = "" reproduces the historical per-step, sequential measurement
+// exactly. A non-empty kernel (simulate.KernelExact/Batch/Auto) selects the
+// interaction kernel instead; "batch" and large-population "auto" runs use
+// the count-based collision kernel, whose trajectories are statistically —
+// not bit — identical to the exact sampler's.
+func Convergence(sizes []int64, runs int, seed int64, batch int64, workers int, kernel string) (*Table, error) {
 	t := &Table{
 		ID:    "E12 (§1)",
 		Title: "convergence cost under uniform random pairing",
@@ -152,7 +156,7 @@ func Convergence(sizes []int64, runs int, seed int64, batch int64, workers int) 
 			"protocol", "m", "mean interactions", "mean parallel time", "wrong outputs",
 		},
 	}
-	opts := simulate.Options{MaxSteps: 200_000_000, BatchSize: batch, Workers: workers}
+	opts := simulate.Options{MaxSteps: 200_000_000, BatchSize: batch, Workers: workers, Kernel: kernel}
 	maj, err := baseline.Majority()
 	if err != nil {
 		return nil, err

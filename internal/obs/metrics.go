@@ -18,6 +18,18 @@ type SchedMetrics struct {
 	// FenwickRebuilds counts full Fenwick-index rebuilds (scheduler
 	// attaching to a configuration it was not tracking).
 	FenwickRebuilds Counter
+	// BatchRounds counts bulk rounds applied by the collision kernel: one
+	// binomial/multinomial draw advancing a whole block of interactions.
+	BatchRounds Counter
+	// BatchRoundSize records the interaction count of each bulk round.
+	BatchRoundSize Hist
+	// BatchFallbacks counts chunks the collision kernel handed back to the
+	// exact per-step/geometric path because a state count was within the
+	// safety margin of the round size (or bulk sampling was unavailable).
+	BatchFallbacks Counter
+	// InteractionsPerSec is the throughput of the most recent collision
+	// kernel StepN call, in scheduler decisions per wall-clock second.
+	InteractionsPerSec Gauge
 }
 
 // SimMetrics instruments internal/simulate's runner and measurement pool.

@@ -21,11 +21,15 @@ type HistSnap struct {
 
 // SchedSnap is the frozen scheduler group.
 type SchedSnap struct {
-	Steps           int64    `json:"steps"`
-	Effective       int64    `json:"effective"`
-	NullsSkipped    int64    `json:"nulls_skipped"`
-	GeomSkips       HistSnap `json:"geom_skips"`
-	FenwickRebuilds int64    `json:"fenwick_rebuilds"`
+	Steps              int64    `json:"steps"`
+	Effective          int64    `json:"effective"`
+	NullsSkipped       int64    `json:"nulls_skipped"`
+	GeomSkips          HistSnap `json:"geom_skips"`
+	FenwickRebuilds    int64    `json:"fenwick_rebuilds"`
+	BatchRounds        int64    `json:"batch_rounds"`
+	BatchRoundSize     HistSnap `json:"batch_round_size"`
+	BatchFallbacks     int64    `json:"batch_fallbacks"`
+	InteractionsPerSec int64    `json:"interactions_per_sec"`
 }
 
 // SimSnap is the frozen simulation group.
@@ -70,11 +74,15 @@ func (m *Metrics) Snapshot() Snap {
 		return s
 	}
 	s.Sched = SchedSnap{
-		Steps:           m.sched.Steps.Load(),
-		Effective:       m.sched.Effective.Load(),
-		NullsSkipped:    m.sched.NullsSkipped.Load(),
-		GeomSkips:       m.sched.GeomSkips.snapshot(),
-		FenwickRebuilds: m.sched.FenwickRebuilds.Load(),
+		Steps:              m.sched.Steps.Load(),
+		Effective:          m.sched.Effective.Load(),
+		NullsSkipped:       m.sched.NullsSkipped.Load(),
+		GeomSkips:          m.sched.GeomSkips.snapshot(),
+		FenwickRebuilds:    m.sched.FenwickRebuilds.Load(),
+		BatchRounds:        m.sched.BatchRounds.Load(),
+		BatchRoundSize:     m.sched.BatchRoundSize.snapshot(),
+		BatchFallbacks:     m.sched.BatchFallbacks.Load(),
+		InteractionsPerSec: m.sched.InteractionsPerSec.Load(),
 	}
 	s.Sim = SimSnap{
 		RunsStarted:  m.sim.RunsStarted.Load(),

@@ -1,0 +1,376 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/multiset"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// CollisionKernel is a count-based batch interaction kernel: it advances the
+// configuration a whole round of B interactions at a time instead of
+// simulating interactions one by one. Per round it
+//
+//  1. draws the null/effective split in a single binomial draw
+//     E ~ Binomial(B, p_eff), where p_eff is the effective-interaction
+//     probability at the round's starting counts,
+//  2. splits the E effective interactions across reactive transition
+//     categories with a multinomial draw against the same counts
+//     (realised as a chain of conditional binomials), and
+//  3. applies the per-state transition deltas in bulk.
+//
+// The round freezes the state counts for its duration ("tau-leaping" in the
+// chemical-kinetics literature), so it is an approximation whose error is
+// bounded by the relative count drift within one round. The kernel keeps
+// that drift small structurally: the round size is capped at
+// minCount/margin, where minCount is the smallest count of any state
+// consumed by an enabled category, so no state can change by more than a
+// 2/margin fraction of itself within a round (and, with margin ≥ 2, no
+// count can go negative). Whenever that cap falls below minRound — any
+// involved state count within the safety margin of the batch size — the
+// kernel falls back to the exact per-step/geometric path (BatchRandomPair),
+// which is distribution-preserving. Small populations therefore never see
+// the approximation at all, and large populations only see it while every
+// involved count is large, exactly where it is statistically tight (the
+// two-sample KS differential test in internal/simulate pins the agreement).
+//
+// Cost: one bulk round is O(#categories) regardless of B, so on
+// effective-interaction-dominated configurations the per-interaction cost
+// is O(#categories / B) — asymptotically free as counts grow — versus the
+// exact path's O(log |Q|) Fenwick work per effective interaction.
+//
+// Reproducibility contract: a CollisionKernel consumes its *rand.Rand as a
+// single deterministic stream across bulk rounds and fallback chunks, so
+// same-seed runs are bit-identical. Different kernels (or the same kernel
+// with different round knobs) draw different streams and are only
+// distributionally comparable.
+type CollisionKernel struct {
+	inner *BatchRandomPair
+	rng   source
+
+	// cats flattens the reactive (pair key, non-silent transition)
+	// candidates in deterministic declaration order; weight of cat i at
+	// counts C is C(Q)·(C(R)−[Q=R])·perT, the exact per-candidate sampling
+	// weight of the per-step law scaled by Λ.
+	cats    []bulkCat
+	weights []int64
+
+	// deltas/touched/mark are the bulk-apply scratch: net per-state count
+	// deltas accumulated across the round's multinomial, applied once per
+	// state.
+	deltas  []int64
+	touched []int
+	mark    []bool
+
+	// roundCap bounds the bulk round size; margin is the safety factor
+	// (round ≤ minInvolvedCount/margin, clamped to ≥ 2 so bulk application
+	// can never drive a count negative); rounds smaller than minRound fall
+	// back to the exact path, in chunks of fallbackChunk interactions.
+	roundCap      int64
+	margin        int64
+	minRound      int64
+	fallbackChunk int64
+
+	// noBulk disables bulk rounds entirely when the integer weight
+	// arithmetic is unavailable (Λ overflow at construction); the
+	// per-population overflow guard is re-checked every round.
+	noBulk bool
+
+	// onFireN, when non-nil, observes every transition fired by a bulk
+	// round with its multiplicity; fallback-path firings are observed
+	// through inner.onFire. Test instrumentation.
+	onFireN func(protocol.Transition, int64)
+	met     *obs.SchedMetrics
+}
+
+var _ BatchScheduler = (*CollisionKernel)(nil)
+
+// bulkCat is one flattened reactive category: a non-silent transition with
+// its integral per-pair sampling weight Λ/#candidates(Q, R).
+type bulkCat struct {
+	t    protocol.Transition
+	perT int64
+}
+
+// Collision kernel defaults. margin 16 keeps the within-round count drift
+// under 2/16 = 12.5% worst case (typically far less, since only an E ≈
+// B·p_eff fraction of the round is effective); minRound 32 is the point
+// below which one exact geometric draw is cheaper than a round's multinomial.
+const (
+	defaultRoundCap      = 1 << 20
+	defaultBulkMargin    = 16
+	defaultMinBulkRound  = 32
+	defaultFallbackChunk = 1 << 12
+)
+
+// NewCollisionKernel builds the count-based batch kernel for protocol p.
+func NewCollisionKernel(p *protocol.Protocol, rng *rand.Rand) *CollisionKernel {
+	return newCollisionKernel(p, rng)
+}
+
+func newCollisionKernel(p *protocol.Protocol, rng source) *CollisionKernel {
+	inner := newBatchRandomPair(p, rng)
+	k := &CollisionKernel{
+		inner:         inner,
+		rng:           rng,
+		deltas:        make([]int64, p.NumStates()),
+		mark:          make([]bool, p.NumStates()),
+		roundCap:      defaultRoundCap,
+		margin:        defaultBulkMargin,
+		minRound:      defaultMinBulkRound,
+		fallbackChunk: defaultFallbackChunk,
+		noBulk:        inner.noSkip,
+		met:           obs.Sched(),
+	}
+	for _, rk := range inner.reactive {
+		for _, t := range rk.fire {
+			k.cats = append(k.cats, bulkCat{t: t, perT: rk.perT})
+		}
+	}
+	k.weights = make([]int64, len(k.cats))
+	return k
+}
+
+// Step implements Scheduler by delegating to the exact per-step path.
+func (k *CollisionKernel) Step(c *multiset.Multiset) bool {
+	return k.inner.Step(c)
+}
+
+// StepN implements BatchScheduler: bulk rounds while every involved state
+// count clears the safety margin, exact chunks otherwise.
+func (k *CollisionKernel) StepN(c *multiset.Multiset, n int64) int64 {
+	m := c.Size()
+	if m < 2 {
+		panic(fmt.Sprintf("sched: cannot sample an agent pair from a population of %d", m))
+	}
+	var t0 time.Time
+	if k.met != nil {
+		t0 = time.Now()
+	}
+	var effective, taken int64
+	for taken < n {
+		B, totalW, dead := k.roundSize(c, m, n-taken)
+		if dead {
+			// No reactive pair is enabled: the rest of the batch is all
+			// null interactions (matches BatchRandomPair's dead path).
+			if k.met != nil {
+				k.met.Steps.Add(n - taken)
+				k.met.NullsSkipped.Add(n - taken)
+			}
+			break
+		}
+		if B == 0 {
+			chunk := n - taken
+			if chunk > k.fallbackChunk {
+				chunk = k.fallbackChunk
+			}
+			if k.met != nil {
+				k.met.BatchFallbacks.Inc()
+			}
+			effective += k.inner.StepN(c, chunk)
+			taken += chunk
+			continue
+		}
+		effective += k.bulkRound(c, m, B, totalW)
+		taken += B
+	}
+	if k.met != nil {
+		if elapsed := time.Since(t0); elapsed > 0 {
+			k.met.InteractionsPerSec.Set(int64(float64(n) / elapsed.Seconds()))
+		}
+	}
+	return effective
+}
+
+// roundSize recomputes the category weights at the current counts and
+// decides the next bulk round size. It returns B = 0 when the kernel must
+// fall back to the exact path (a consumed state count within the safety
+// margin of the round, weight arithmetic unavailable, or no category), and
+// dead = true when no category has positive weight — the configuration can
+// never change again under random pairing.
+func (k *CollisionKernel) roundSize(c *multiset.Multiset, m, remaining int64) (B, totalW int64, dead bool) {
+	if k.noBulk || len(k.cats) == 0 || k.inner.lambda > math.MaxInt64/m/(m+1) {
+		// Bulk weights unavailable; the exact path decides liveness itself.
+		if len(k.cats) == 0 {
+			return 0, 0, true
+		}
+		return 0, 0, false
+	}
+	minCount := int64(math.MaxInt64)
+	for i := range k.cats {
+		t := &k.cats[i].t
+		nq, nr := c.Count(t.Q), c.Count(t.R)
+		pairs := nr
+		if t.Q == t.R {
+			pairs--
+		}
+		if nq <= 0 || pairs <= 0 {
+			k.weights[i] = 0
+			continue
+		}
+		k.weights[i] = nq * pairs * k.cats[i].perT
+		totalW += k.weights[i]
+		if nq < minCount {
+			minCount = nq
+		}
+		if nr < minCount {
+			minCount = nr
+		}
+	}
+	if totalW == 0 {
+		return 0, 0, true
+	}
+	margin := k.margin
+	if margin < 2 { // < 2 could drive a consumed count negative
+		margin = 2
+	}
+	B = minCount / margin
+	if B > k.roundCap {
+		B = k.roundCap
+	}
+	if B < k.minRound {
+		return 0, totalW, false
+	}
+	if B > remaining {
+		B = remaining // safety only caps B from above, so shrinking is fine
+	}
+	return B, totalW, false
+}
+
+// bulkRound advances c by B interactions in one binomial + multinomial
+// draw against the weights computed by roundSize, and returns the number of
+// effective interactions applied.
+func (k *CollisionKernel) bulkRound(c *multiset.Multiset, m, B, totalW int64) int64 {
+	if k.met != nil {
+		k.met.Steps.Add(B)
+		k.met.BatchRounds.Inc()
+		k.met.BatchRoundSize.Observe(B)
+	}
+	pEff := float64(totalW) / (float64(k.inner.lambda) * float64(m) * float64(m-1))
+	effective := binomial(k.rng, B, pEff)
+	if k.met != nil {
+		k.met.NullsSkipped.Add(B - effective)
+		k.met.Effective.Add(effective)
+	}
+	if effective == 0 {
+		return 0
+	}
+	rem, wRem := effective, totalW
+	for i := range k.cats {
+		if rem == 0 {
+			break
+		}
+		w := k.weights[i]
+		if w == 0 {
+			continue
+		}
+		var e int64
+		if w >= wRem {
+			e = rem // last positive-weight category absorbs the remainder
+		} else {
+			e = binomial(k.rng, rem, float64(w)/float64(wRem))
+		}
+		if e > 0 {
+			t := k.cats[i].t
+			k.addDelta(t.Q, -e)
+			k.addDelta(t.R, -e)
+			k.addDelta(t.Q2, e)
+			k.addDelta(t.R2, e)
+			if k.onFireN != nil {
+				k.onFireN(t, e)
+			}
+		}
+		rem -= e
+		wRem -= w
+	}
+	for _, s := range k.touched {
+		if d := k.deltas[s]; d != 0 {
+			c.Add(s, d)
+		}
+		k.deltas[s] = 0
+		k.mark[s] = false
+	}
+	k.touched = k.touched[:0]
+	// The bulk mutation bypassed the exact path's Fenwick/weight
+	// bookkeeping; detach so the next exact step rebuilds from counts.
+	if k.inner.attached == c {
+		k.inner.attached = nil
+	}
+	return effective
+}
+
+func (k *CollisionKernel) addDelta(s int, d int64) {
+	if !k.mark[s] {
+		k.mark[s] = true
+		k.touched = append(k.touched, s)
+	}
+	k.deltas[s] += d
+}
+
+// binomialExactCutoff is the expected-count threshold below which binomial
+// draws are taken exactly (by counting geometric inter-success gaps, O(mean)
+// draws) rather than by the continuity-corrected normal approximation. 64
+// keeps the approximation's per-draw error ~O(1/√(np(1-p))) ≲ 5% while the
+// exact branch stays cheap.
+const binomialExactCutoff = 64
+
+// binomial draws from Binomial(n, p): exactly for small expected success or
+// failure counts, and via the continuity-corrected normal approximation in
+// the bulk regime (where the central limit bound is tight and the kernel's
+// statistical contract is distributional, not exact).
+func binomial(rng source, n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean <= binomialExactCutoff {
+		return binomialGeometric(rng, n, p)
+	}
+	if float64(n)-mean <= binomialExactCutoff {
+		return n - binomialGeometric(rng, n, 1-p)
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := int64(math.Floor(mean + sd*gauss(rng) + 0.5))
+	if v < 0 {
+		return 0
+	}
+	if v > n {
+		return n
+	}
+	return v
+}
+
+// binomialGeometric counts successes among n Bernoulli(p) trials by summing
+// geometric inter-success gaps — exact, O(successes) random draws.
+func binomialGeometric(rng source, n int64, p float64) int64 {
+	var successes, pos int64
+	for {
+		g := geometricSkip(rng, p)
+		if g >= n-pos { // the remaining trials are all failures
+			return successes
+		}
+		pos += g + 1
+		successes++
+		if pos >= n {
+			return successes
+		}
+	}
+}
+
+// gauss draws a standard normal deviate by Box–Muller from the scheduler's
+// shared randomness source.
+func gauss(rng source) float64 {
+	u1 := rng.Float64()
+	if u1 == 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := rng.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

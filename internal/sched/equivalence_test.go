@@ -211,6 +211,15 @@ func TestExactOutcomeDistributionsMatch(t *testing.T) {
 				t.Fatalf("Fenwick Step law differs from RandomPair law:\n%v\nvs\n%v", perStep, fenStep)
 			}
 
+			// The collision kernel's Step delegates to the same exact
+			// sampler, so its single-decision law must match too.
+			collStep := enumerateOutcomes(t, c, func(cl *multiset.Multiset, src *scriptSource) {
+				newCollisionKernel(tc.p, src).Step(cl)
+			})
+			if !ratDistsEqual(perStep, collStep) {
+				t.Fatalf("CollisionKernel Step law differs from RandomPair law:\n%v\nvs\n%v", perStep, collStep)
+			}
+
 			// Batched effective-step probability: totalW / (Λ·m·(m−1)).
 			probe := newBatchRandomPair(tc.p, &scriptSource{})
 			probe.attach(c)
@@ -236,6 +245,21 @@ func TestExactOutcomeDistributionsMatch(t *testing.T) {
 				t.Fatalf("conditional next-config law differs:\nper-step %v\nbatched  %v",
 					perStepCond, batchCond)
 			}
+
+			// CollisionKernel below the safety margin: every population in
+			// this corpus is far inside the fallback region (counts ≪
+			// margin·minRound), so StepN must hand off to the exact skip
+			// path and reproduce the identical conditional law — the
+			// boundary side of the batch/exact handoff, enumerated exactly.
+			collCond := enumerateOutcomes(t, c, func(cl *multiset.Multiset, src *scriptSource) {
+				k := newCollisionKernel(tc.p, src)
+				k.inner.skipThreshold = 2 // fallback takes the skip path
+				k.StepN(cl, 1)
+			})
+			if !ratDistsEqual(perStepCond, collCond) {
+				t.Fatalf("CollisionKernel fallback law differs:\nper-step %v\nkernel   %v",
+					perStepCond, collCond)
+			}
 		})
 	}
 }
@@ -251,6 +275,9 @@ func firingCounts(t *testing.T, p *protocol.Protocol, c0 *multiset.Multiset,
 		switch sch := s.(type) {
 		case *BatchRandomPair:
 			sch.onFire = func(tr protocol.Transition) { counts[tr]++ }
+		case *CollisionKernel:
+			sch.onFireN = func(tr protocol.Transition, n int64) { counts[tr] += n }
+			sch.inner.onFire = func(tr protocol.Transition) { counts[tr]++ }
 		default:
 			t.Fatalf("unexpected scheduler type %T", s)
 		}
@@ -296,7 +323,7 @@ func chiSquared(a, b map[protocol.Transition]int64, totalSteps int64) (stat floa
 		add(a[k], b[k])
 	}
 	add(totalSteps-sumA, totalSteps-sumB) // null interactions
-	df-- // categories minus one
+	df--                                  // categories minus one
 	return stat, df
 }
 
@@ -340,6 +367,58 @@ func TestChiSquaredFiringFrequencies(t *testing.T) {
 			if stat > 40 {
 				t.Fatalf("chi-squared %0.1f (df=%d) exceeds bound 40:\nper-step %v\nbatched  %v",
 					stat, df, perStep, batched)
+			}
+		})
+	}
+}
+
+// TestChiSquaredCollisionFiringFrequencies compares transition firing
+// frequencies between the exact per-step sampler and the collision kernel
+// with knobs forced so bulk tau-leap rounds actually engage (and, in the
+// epidemic case, so runs cross the fallback/bulk handoff boundary both
+// ways). Rounds are kept small relative to the population so tau-leap's
+// frozen-count bias stays well inside sampling noise; the same generous
+// chi-squared bound as the skip-path test applies.
+func TestChiSquaredCollisionFiringFrequencies(t *testing.T) {
+	cases := []struct {
+		name          string
+		p             *protocol.Protocol
+		init          []int64
+		trials, steps int
+	}{
+		// Effective-dominated: bulk rounds engage immediately.
+		{"majority-bulk", majorityForEquiv(t), []int64{640, 560}, 100, 240},
+		// Starts below the safety margin (I = 4): the kernel must hand the
+		// early steps to the exact path, then switch to bulk as the
+		// infection spreads, and fall back again as susceptibles run out.
+		{"epidemic-handoff", epidemicTB(t), []int64{4, 396}, 60, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c0, err := tc.p.InitialConfig(tc.init...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perStep := firingCounts(t, tc.p, c0, tc.trials, tc.steps, func(seed int64) BatchScheduler {
+				s := NewBatchRandomPair(tc.p, NewRand(seed))
+				s.skipThreshold = 0 // per-step path only — the seed sampler's law
+				return s
+			}, false)
+			bulk := firingCounts(t, tc.p, c0, tc.trials, tc.steps, func(seed int64) BatchScheduler {
+				k := NewCollisionKernel(tc.p, NewRand(1_000_000+seed))
+				k.margin = 8
+				k.minRound = 1
+				k.roundCap = 16
+				return k
+			}, true)
+			total := int64(tc.trials) * int64(tc.steps)
+			stat, df := chiSquared(perStep, bulk, total)
+			if df < 1 {
+				t.Fatalf("degenerate chi-squared: df=%d counts %v vs %v", df, perStep, bulk)
+			}
+			if stat > 40 {
+				t.Fatalf("chi-squared %0.1f (df=%d) exceeds bound 40:\nper-step %v\nbulk     %v",
+					stat, df, perStep, bulk)
 			}
 		})
 	}

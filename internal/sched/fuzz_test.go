@@ -96,10 +96,44 @@ func FuzzStepN(f *testing.F) {
 		if eff3 < 0 || eff3 > n {
 			t.Fatalf("effective count %d outside [0, %d]", eff3, n)
 		}
+
+		// Collision kernel, default knobs: fuzz populations are tiny, so
+		// every chunk must take the exact fallback path — same invariants.
+		c4 := c.Clone()
+		kernel := NewCollisionKernel(p, NewRand(seed^0x2545F491))
+		eff4 := kernel.StepN(c4, n)
+		if eff4 < 0 || eff4 > n {
+			t.Fatalf("kernel effective count %d outside [0, %d]", eff4, n)
+		}
+		if eff4 == 0 && !c4.Equal(c) {
+			t.Fatal("kernel: zero effective steps but the configuration changed")
+		}
+
+		// Collision kernel, knobs forced so bulk rounds engage even on tiny
+		// populations — exercises the bulk/fallback handoff boundary under
+		// arbitrary protocols.
+		c5 := c.Clone()
+		forced := NewCollisionKernel(p, NewRand(seed^0x9E3779B9))
+		forced.margin = 2
+		forced.minRound = 1
+		forced.roundCap = 16
+		eff5 := forced.StepN(c5, n)
+		if eff5 < 0 || eff5 > n {
+			t.Fatalf("forced-bulk effective count %d outside [0, %d]", eff5, n)
+		}
+		if eff5 == 0 && !c5.Equal(c) {
+			t.Fatal("forced-bulk: zero effective steps but the configuration changed")
+		}
+		for s := 0; s < numStates; s++ {
+			if c4.Count(s) < 0 || c5.Count(s) < 0 {
+				t.Fatalf("kernel drove a count negative: %v / %v", c4, c5)
+			}
+		}
+
 		for _, cc := range []interface {
 			Size() int64
 			Support() []int
-		}{c1, c3} {
+		}{c1, c3, c4, c5} {
 			if cc.Size() != size {
 				t.Fatalf("population size changed: %d -> %d", size, cc.Size())
 			}

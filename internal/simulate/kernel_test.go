@@ -1,0 +1,151 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestNewKernelSchedulerSelection pins the kernel-name → scheduler mapping,
+// including auto's population threshold.
+func TestNewKernelSchedulerSelection(t *testing.T) {
+	p := epidemic(t)
+	rng := sched.NewRand(1)
+	if s, err := NewKernelScheduler(p, rng, KernelExact, 10); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*sched.BatchRandomPair); !ok {
+		t.Fatalf("exact kernel built %T", s)
+	}
+	if s, err := NewKernelScheduler(p, rng, KernelBatch, 10); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*sched.CollisionKernel); !ok {
+		t.Fatalf("batch kernel built %T", s)
+	}
+	if s, err := NewKernelScheduler(p, rng, KernelAuto, AutoKernelThreshold-1); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*sched.BatchRandomPair); !ok {
+		t.Fatalf("auto below threshold built %T", s)
+	}
+	if s, err := NewKernelScheduler(p, rng, KernelAuto, AutoKernelThreshold); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*sched.CollisionKernel); !ok {
+		t.Fatalf("auto at threshold built %T", s)
+	}
+	if _, err := NewKernelScheduler(p, rng, "turbo", 10); err == nil {
+		t.Fatal("bogus kernel name accepted")
+	}
+	if _, err := NewKernelScheduler(p, rng, "", 10); err == nil {
+		t.Fatal("empty kernel name accepted by the explicit constructor")
+	}
+}
+
+// TestOptionsBatchSizeResolution pins the chunk-size defaulting rule: an
+// explicit BatchSize always wins, any selected kernel turns batching on
+// with the default chunk, and the zero Options stay per-step.
+func TestOptionsBatchSizeResolution(t *testing.T) {
+	if got := (Options{}).batchSize(); got != 0 {
+		t.Fatalf("zero options batchSize = %d, want 0", got)
+	}
+	if got := (Options{BatchSize: 77}).batchSize(); got != 77 {
+		t.Fatalf("explicit batchSize = %d, want 77", got)
+	}
+	if got := (Options{Kernel: KernelBatch}).batchSize(); got != defaultKernelBatch {
+		t.Fatalf("kernel default batchSize = %d, want %d", got, defaultKernelBatch)
+	}
+	if got := (Options{Kernel: KernelExact, BatchSize: 5}).batchSize(); got != 5 {
+		t.Fatalf("kernel with explicit batchSize = %d, want 5", got)
+	}
+}
+
+// TestMeasureConvergenceKernelReproducible pins the per-kernel
+// reproducibility contract: for a fixed (kernel, seed) pair every statistic
+// is bit-identical across repeated measurements and across worker counts.
+func TestMeasureConvergenceKernelReproducible(t *testing.T) {
+	p := majority(t)
+	for _, kernel := range []string{KernelExact, KernelBatch, KernelAuto} {
+		opts := Options{Kernel: kernel}
+		a, err := MeasureConvergence(p, []int64{40, 25}, true, 6, 11, opts)
+		if err != nil {
+			t.Fatalf("kernel %q: %v", kernel, err)
+		}
+		b, err := MeasureConvergence(p, []int64{40, 25}, true, 6, 11, opts)
+		if err != nil {
+			t.Fatalf("kernel %q rerun: %v", kernel, err)
+		}
+		if *a != *b {
+			t.Fatalf("kernel %q not reproducible: %+v vs %+v", kernel, a, b)
+		}
+		wopts := opts
+		wopts.Workers = 3
+		w, err := MeasureConvergence(p, []int64{40, 25}, true, 6, 11, wopts)
+		if err != nil {
+			t.Fatalf("kernel %q workers: %v", kernel, err)
+		}
+		if *a != *w {
+			t.Fatalf("kernel %q differs across worker counts: %+v vs %+v", kernel, a, w)
+		}
+	}
+	if _, err := MeasureConvergence(p, []int64{4, 3}, true, 1, 1, Options{Kernel: "turbo"}); err == nil {
+		t.Fatal("bogus kernel accepted by MeasureConvergence")
+	}
+}
+
+// TestKernelConvergenceDistributionsAgree is the statistical differential
+// test of the tentpole: the distribution of convergence step counts under
+// the collision kernel must agree with the exact kernel's under a
+// two-sample Kolmogorov–Smirnov test at α ≈ 0.001. The epidemic at
+// m = 4096 spends its whole life crossing the fallback/bulk boundary
+// (1 infected → all infected), so the comparison exercises both regimes
+// and the handoff between them.
+func TestKernelConvergenceDistributionsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 140 convergence measurements at m = 4096")
+	}
+	p := epidemic(t)
+	const m = 4096
+	const runs = 70
+	// Identical driver granularity on both sides: the same chunk size and
+	// stabilisation checks, so only the interaction kernel differs.
+	mk := func(kernel string) Options {
+		return Options{Kernel: kernel, BatchSize: 4096, Workers: 4}
+	}
+	exact, err := MeasureConvergenceSamples(p, []int64{1, m - 1}, runs, 1, mk(KernelExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := MeasureConvergenceSamples(p, []int64{1, m - 1}, runs, 500_000, mk(KernelBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := KSStatistic(exact, batch)
+	crit := KSCriticalValue(len(exact), len(batch))
+	if d > crit {
+		t.Fatalf("KS statistic %.4f exceeds critical value %.4f (α ≈ 0.001)\nexact %v\nbatch %v",
+			d, crit, Summarise(exact), Summarise(batch))
+	}
+	t.Logf("KS D = %.4f (critical %.4f); exact %v, batch %v",
+		d, crit, Summarise(exact), Summarise(batch))
+}
+
+// BenchmarkRunKernels measures full convergence runs (epidemic from a
+// single infected agent) under each kernel, the end-to-end counterpart of
+// sched's BenchmarkStepN.
+func BenchmarkRunKernels(b *testing.B) {
+	p := epidemic(b)
+	const m = 1 << 16
+	for _, kernel := range []string{KernelExact, KernelBatch} {
+		b.Run("kernel="+kernel, func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				res, err := convergenceRun(p, []int64{1, m - 1}, i, 1,
+					Options{Kernel: kernel, QuiescencePeriod: 1 << 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += res.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "interactions/run")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/interaction")
+		})
+	}
+}

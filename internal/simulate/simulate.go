@@ -15,6 +15,7 @@ package simulate
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -23,6 +24,53 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sched"
 )
+
+// Interaction-kernel names accepted by Options.Kernel and the CLI -kernel
+// flags. The empty string keeps the legacy behaviour where BatchSize alone
+// selects between RandomPair and BatchRandomPair.
+const (
+	// KernelExact drives the exact sampler (BatchRandomPair): every
+	// interaction follows the uniform random-pair law, with analytic
+	// geometric skipping of null runs.
+	KernelExact = "exact"
+	// KernelBatch drives the count-based collision kernel
+	// (sched.CollisionKernel): tau-leap rounds advance whole blocks of
+	// interactions against frozen counts, falling back to the exact path
+	// near small counts.
+	KernelBatch = "batch"
+	// KernelAuto picks KernelBatch for populations of at least
+	// AutoKernelThreshold agents and KernelExact below it.
+	KernelAuto = "auto"
+)
+
+// AutoKernelThreshold is the population size at or above which KernelAuto
+// selects the collision kernel. Below it the kernel would spend essentially
+// all its time in the exact fallback anyway, so auto skips the indirection.
+const AutoKernelThreshold = 4096
+
+// defaultKernelBatch is the StepN chunk size used when a kernel is selected
+// but BatchSize is left zero.
+const defaultKernelBatch = 1 << 16
+
+// NewKernelScheduler constructs the scheduler selected by a kernel name for
+// a population of populationSize agents. It is the single decision point
+// shared by the measurement functions and the CLIs.
+func NewKernelScheduler(p *protocol.Protocol, rng *rand.Rand, kernel string, populationSize int64) (sched.BatchScheduler, error) {
+	switch kernel {
+	case KernelExact:
+		return sched.NewBatchRandomPair(p, rng), nil
+	case KernelBatch:
+		return sched.NewCollisionKernel(p, rng), nil
+	case KernelAuto:
+		if populationSize >= AutoKernelThreshold {
+			return sched.NewCollisionKernel(p, rng), nil
+		}
+		return sched.NewBatchRandomPair(p, rng), nil
+	default:
+		return nil, fmt.Errorf("simulate: unknown kernel %q (want %q, %q or %q)",
+			kernel, KernelExact, KernelBatch, KernelAuto)
+	}
+}
 
 // ErrBudgetExhausted is returned when MaxSteps elapses without meeting a
 // stabilisation criterion.
@@ -51,6 +99,13 @@ type Options struct {
 	// overshoot the exact step at which the per-step runner would have
 	// stopped by less than one batch. Zero disables batching.
 	BatchSize int64
+	// Kernel selects the interaction kernel: KernelExact, KernelBatch or
+	// KernelAuto. It decides which scheduler the measurement functions
+	// construct, and any non-empty value enables the batched driver with a
+	// default BatchSize of 65,536 when BatchSize is zero. Empty keeps the
+	// legacy behaviour: BatchSize alone selects between RandomPair and
+	// BatchRandomPair.
+	Kernel string
 	// Workers parallelises MeasureConvergence and
 	// MeasureConvergenceSamples across runs. Each run already draws its
 	// PRNG independently from seed+i, and per-run results are aggregated
@@ -78,6 +133,19 @@ func (o Options) quiescencePeriod() int64 {
 		return 1_000
 	}
 	return o.QuiescencePeriod
+}
+
+// batchSize resolves the StepN chunk size: an explicit BatchSize wins, a
+// selected kernel defaults to defaultKernelBatch, and otherwise batching
+// stays off.
+func (o Options) batchSize() int64 {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	if o.Kernel != "" {
+		return defaultKernelBatch
+	}
+	return 0
 }
 
 func (o Options) workers() int {
@@ -138,7 +206,7 @@ func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Opt
 	}
 	var res *Result
 	var err error
-	if bs, ok := s.(sched.BatchScheduler); ok && opts.BatchSize > 0 {
+	if bs, ok := s.(sched.BatchScheduler); ok && opts.batchSize() > 0 {
 		res, err = runBatched(p, c, bs, opts)
 	} else {
 		res, err = runPerStep(p, c, s, opts)
@@ -221,7 +289,7 @@ func runBatched(p *protocol.Protocol, c *multiset.Multiset, s sched.BatchSchedul
 	maxSteps := opts.maxSteps()
 	window := opts.stableWindow()
 	period := opts.quiescencePeriod()
-	batch := opts.BatchSize
+	batch := opts.batchSize()
 
 	res := &Result{Final: c}
 	lastOutput := p.OutputOf(c)
@@ -296,14 +364,24 @@ type ConvergenceStats struct {
 }
 
 // convergenceRun performs the i-th repeated run of a measurement: a fresh
-// scheduler seeded with seed+i (the batched one when opts.BatchSize asks
-// for it) over a fresh initial configuration. Runs are independent, which
-// is what lets the measurement functions fan them out over workers without
-// changing any statistic.
+// scheduler seeded with seed+i — selected by opts.Kernel when set, else the
+// batched one when opts.BatchSize asks for it — over a fresh initial
+// configuration. Runs are independent, which is what lets the measurement
+// functions fan them out over workers without changing any statistic.
 func convergenceRun(p *protocol.Protocol, inputCounts []int64, i int, seed int64, opts Options) (*Result, error) {
 	rng := sched.NewRand(seed + int64(i))
 	var s sched.Scheduler
-	if opts.BatchSize > 0 {
+	if opts.Kernel != "" {
+		var m int64
+		for _, v := range inputCounts {
+			m += v
+		}
+		ks, err := NewKernelScheduler(p, rng, opts.Kernel, m)
+		if err != nil {
+			return nil, err
+		}
+		s = ks
+	} else if opts.BatchSize > 0 {
 		s = sched.NewBatchRandomPair(p, rng)
 	} else {
 		s = sched.NewRandomPair(p, rng)
@@ -381,7 +459,11 @@ func measureRuns(p *protocol.Protocol, inputCounts []int64, runs int, seed int64
 // is the output each run should stabilise to. Runs fan out over
 // opts.Workers goroutines and take the batched fast path when
 // opts.BatchSize is set; both knobs leave every statistic bit-identical to
-// the sequential per-step execution of the same options.
+// the sequential per-step execution of the same options. opts.Kernel
+// switches the per-run scheduler: results stay bit-reproducible for a fixed
+// (kernel, seed) pair, and the collision kernel's tau-leap trajectories are
+// statistically equivalent — but not bit-identical — to the exact kernel's
+// (the differential tests in this package certify the equivalence).
 func MeasureConvergence(p *protocol.Protocol, inputCounts []int64, expected bool, runs int, seed int64, opts Options) (*ConvergenceStats, error) {
 	results, err := measureRuns(p, inputCounts, runs, seed, opts)
 	if err != nil {

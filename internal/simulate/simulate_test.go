@@ -8,7 +8,7 @@ import (
 	"repro/internal/sched"
 )
 
-func epidemic(t *testing.T) *protocol.Protocol {
+func epidemic(t testing.TB) *protocol.Protocol {
 	t.Helper()
 	b := protocol.NewBuilder("epidemic")
 	b.Input("I", "S")

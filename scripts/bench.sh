@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulation benchmark suite and emit BENCH_simulate.json.
+#
+# Covers the scheduler-level StepN benchmarks (exact vs collision kernel),
+# the end-to-end RunKernels convergence benchmark, and the root
+# BatchStepN / MeasureConvergence benchmarks. Each JSON record carries the
+# benchmark name, iteration count and every (value, unit) metric pair Go
+# reported — ns/op, ns/interaction, interactions/s, B/op, allocs/op, ...
+#
+# Usage:
+#   scripts/bench.sh [output.json]          # default BENCH_simulate.json
+#   BENCHTIME=2s scripts/bench.sh           # longer runs, steadier numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_simulate.json}"
+benchtime="${BENCHTIME:-1s}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'StepN|MeasureConvergence|RunKernels' \
+  -benchmem -benchtime "$benchtime" \
+  ./internal/sched ./internal/simulate . | tee "$raw"
+
+awk -v go_version="$(go version)" -v date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    m = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (m != "") m = m ","
+        m = m sprintf("\"%s\":%s", $(i + 1), $i)
+    }
+    recs[n++] = sprintf("{\"name\":\"%s\",\"iterations\":%s,\"metrics\":{%s}}", name, iters, m)
+}
+END {
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"date\": \"%s\",\n", date_utc
+    printf "  \"benchtime\": \"'"$benchtime"'\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+        printf "    %s%s\n", recs[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
