@@ -1,10 +1,11 @@
-// Command ppexperiments runs every experiment of the reproduction (E1–E15,
+// Command ppexperiments runs every experiment of the reproduction (E1–E16,
 // see DESIGN.md) and prints the regenerated tables.
 //
 // Usage:
 //
 //	ppexperiments [-markdown] [-quick] [-seed N] [-batch N] [-kernel K] [-workers W]
-//	              [-explore-workers W] [-metrics] [-metrics-interval D] [-pprof ADDR]
+//	              [-explore-workers W] [-topology-m M]
+//	              [-metrics] [-metrics-interval D] [-pprof ADDR]
 //
 // -quick shrinks every sweep to its smallest meaningful size (useful for
 // smoke tests); -markdown emits the tables in the format EXPERIMENTS.md
@@ -13,7 +14,8 @@
 // its interaction kernel (exact | batch | auto — see ppsim). -explore-workers
 // sets the frontier-expansion worker count of the parallel model checker
 // used by the exhaustive checks (0 = one per CPU); every table is
-// bit-identical for any value.
+// bit-identical for any value. -topology-m sizes the population of the
+// topology-convergence sweep (E16).
 //
 // Telemetry: -metrics prints a JSON snapshot of the scheduler, runner and
 // explorer counters to stderr on exit; -metrics-interval emits periodic
@@ -66,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"worker goroutines for the convergence experiment's runs")
 	exploreWorkers := fs.Int("explore-workers", 0,
 		"frontier-expansion workers for the exhaustive model checks (0 = one per CPU)")
+	topologyM := fs.Int64("topology-m", 0,
+		"population size for the topology-convergence experiment (0 = default 16)")
 	telemetry := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2 // the flag package has already printed the error and usage
@@ -83,6 +87,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usageErr(fmt.Errorf("-batch must be ≥ 0, got %d", *batch))
 	case *exploreWorkers < 0:
 		return usageErr(fmt.Errorf("-explore-workers must be ≥ 0, got %d", *exploreWorkers))
+	case *topologyM < 0:
+		return usageErr(fmt.Errorf("-topology-m must be ≥ 0, got %d", *topologyM))
 	case !validKernel(*kernel):
 		return usageErr(fmt.Errorf("-kernel must be one of %q, %q, %q, got %q",
 			simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto, *kernel))
@@ -111,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.ConvergenceWorkers = *workers
 	cfg.ConvergenceKernel = *kernel
 	cfg.ExploreWorkers = *exploreWorkers
+	cfg.TopologyM = *topologyM
 
 	tables, err := experiments.All(cfg)
 	if err != nil {

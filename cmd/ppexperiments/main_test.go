@@ -23,6 +23,7 @@ func TestRunFlagValidation(t *testing.T) {
 		{"negative explore workers", []string{"-explore-workers", "-1"}, "-explore-workers must be ≥ 0"},
 		{"bogus kernel", []string{"-kernel", "turbo"}, "-kernel must be one of"},
 		{"negative metrics interval", []string{"-metrics-interval", "-2s"}, "-metrics-interval must be ≥ 0"},
+		{"negative topology m", []string{"-topology-m", "-4"}, "-topology-m must be ≥ 0"},
 		{"non-numeric flag", []string{"-batch", "x"}, "invalid value"},
 		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
 	}

@@ -23,6 +23,10 @@
 // times with seeds seed..seed+R-1 and reports convergence summary
 // statistics, optionally in parallel with -workers W (results are identical
 // for any worker count).
+// -topology restricts interactions to a graph (clique, ring, grid[:RxC],
+// powerlaw[:k]) driven per-step by an edge-selection policy chosen with
+// -topo-policy (random, roundrobin, starvation, adversary); -crash, -revive
+// and -join enable per-step agent fault injection on topology runs.
 // Program targets (figure1, czerner:n, equality:n, or a .pop file given
 // with -program) run the population-program interpreter with a seeded
 // random oracle and report the stabilised output flag, steps and restarts.
@@ -78,6 +82,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	qperiod := fs.Int64("qperiod", 0, "quiescence-check period for protocol targets (0 = default 1000)")
 	runs := fs.Int("runs", 1, "repeat protocol runs this many times (seeds seed..seed+runs-1) and report summary statistics")
 	workers := fs.Int("workers", 1, "worker goroutines for -runs > 1 (results are identical for any worker count)")
+	topology := fs.String("topology", "",
+		"restrict interactions to a graph for protocol targets: clique | ring | grid[:RxC] | powerlaw[:k] (per-step; excludes -kernel/-batch)")
+	topoPolicy := fs.String("topo-policy", "",
+		"edge-selection policy for -topology: random | roundrobin | starvation | adversary (default random)")
+	crash := fs.Float64("crash", 0, "per-step agent crash probability for -topology runs")
+	revive := fs.Float64("revive", 0, "per-step revive probability for crashed agents (-topology runs)")
+	join := fs.Float64("join", 0, "per-step join probability; new agents enter the protocol's first state (-topology runs)")
 	telemetry := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2 // the flag package has already printed the error and usage
@@ -109,6 +120,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *input == "":
 		return usageErr(errors.New("-input is required"))
 	}
+	var topoSpec *sched.TopologySpec
+	var faults *sched.Faults
+	if *topology != "" {
+		spec, err := sched.ParseTopologySpec(*topology)
+		if err != nil {
+			return usageErr(err)
+		}
+		switch *topoPolicy {
+		case "", sched.PolicyRandom, sched.PolicyRoundRobin, sched.PolicyStarvation, sched.PolicyAdversary:
+			spec.Policy = *topoPolicy
+		default:
+			return usageErr(fmt.Errorf("-topo-policy must be one of %q, %q, %q, %q, got %q",
+				sched.PolicyRandom, sched.PolicyRoundRobin, sched.PolicyStarvation,
+				sched.PolicyAdversary, *topoPolicy))
+		}
+		switch {
+		case *kernel != "" || *batch > 0:
+			return usageErr(errors.New("-topology excludes -kernel and -batch (graph schedulers are per-step)"))
+		case *scheduler != "pair":
+			return usageErr(errors.New("-topology replaces -scheduler (leave it at the default)"))
+		}
+		topoSpec = &spec
+	} else if *topoPolicy != "" {
+		return usageErr(errors.New("-topo-policy requires -topology"))
+	}
+	if *crash != 0 || *revive != 0 || *join != 0 {
+		if topoSpec == nil {
+			return usageErr(errors.New("-crash/-revive/-join require -topology"))
+		}
+		faults = &sched.Faults{Crash: *crash, Revive: *revive, Join: *join}
+		if err := faults.Validate(); err != nil {
+			return usageErr(err)
+		}
+	}
 	stopTelemetry, err := telemetry.Start(stderr)
 	if err != nil {
 		return usageErr(err)
@@ -130,6 +175,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		qperiod:   *qperiod,
 		runs:      *runs,
 		workers:   *workers,
+		topo:      topoSpec,
+		faults:    faults,
 	}
 	if err := dispatch(stdout, *target, *programPath, counts, so); err != nil {
 		fmt.Fprintln(stderr, "ppsim:", err)
@@ -261,6 +308,8 @@ type simOptions struct {
 	kernel          string
 	window, qperiod int64
 	runs, workers   int
+	topo            *sched.TopologySpec
+	faults          *sched.Faults
 }
 
 // validKernel reports whether k is an accepted -kernel value (empty keeps
@@ -284,6 +333,8 @@ func simulateProtocol(w io.Writer, p *protocol.Protocol, counts []int64, so simO
 		BatchSize:        so.batch,
 		Kernel:           so.kernel,
 		Workers:          so.workers,
+		Topology:         so.topo,
+		Faults:           so.faults,
 	}
 	if so.runs > 1 {
 		if so.scheduler == "fair" {
@@ -304,12 +355,23 @@ func simulateProtocol(w io.Writer, p *protocol.Protocol, counts []int64, so simO
 		if so.kernel != "" {
 			fmt.Fprintf(w, "kernel:        %s\n", so.kernel)
 		}
+		printTopology(w, so)
 		fmt.Fprintf(w, "interactions:  %v\n", simulate.Summarise(samples))
 		return nil
 	}
 	rng := sched.NewRand(so.seed)
 	var s sched.Scheduler
-	if so.kernel != "" {
+	if so.topo != nil {
+		var m int64
+		for _, c := range counts {
+			m += c
+		}
+		ts, err := so.topo.NewScheduler(p, rng, so.faults, m)
+		if err != nil {
+			return err
+		}
+		s = ts
+	} else if so.kernel != "" {
 		var m int64
 		for _, c := range counts {
 			m += c
@@ -341,11 +403,28 @@ func simulateProtocol(w io.Writer, p *protocol.Protocol, counts []int64, so simO
 	if so.kernel != "" {
 		fmt.Fprintf(w, "kernel:        %s\n", so.kernel)
 	}
+	printTopology(w, so)
 	fmt.Fprintf(w, "output:        %v\n", res.Output)
 	fmt.Fprintf(w, "interactions:  %d (%d effective)\n", res.Steps, res.EffectiveSteps)
 	fmt.Fprintf(w, "parallel time: %.1f\n", res.ParallelTime())
 	fmt.Fprintf(w, "quiescent:     %v\n", res.Quiescent)
 	return nil
+}
+
+// printTopology reports the interaction-graph restriction, if any.
+func printTopology(w io.Writer, so simOptions) {
+	if so.topo == nil {
+		return
+	}
+	policy := so.topo.Policy
+	if policy == "" {
+		policy = sched.PolicyRandom
+	}
+	fmt.Fprintf(w, "topology:      %s (policy %s)\n", so.topo.Kind, policy)
+	if so.faults != nil {
+		fmt.Fprintf(w, "faults:        crash %g, revive %g, join %g\n",
+			so.faults.Crash, so.faults.Revive, so.faults.Join)
+	}
 }
 
 func simulateProgram(w io.Writer, prog *popprog.Program, total, seed, budget int64, opts popprog.DecideOptions) error {

@@ -158,6 +158,16 @@ func TestRunFlagValidation(t *testing.T) {
 		{"negative metrics interval", []string{"-target", "majority", "-input", "6,3", "-metrics-interval", "-1s"}, 2, "-metrics-interval must be ≥ 0"},
 		{"unknown target", []string{"-target", "nope", "-input", "3"}, 1, "unknown target"},
 		{"bad input counts", []string{"-target", "majority", "-input", "6;3"}, 1, "input"},
+		{"unknown topology", []string{"-target", "majority", "-input", "6,3", "-topology", "torus"}, 2, "unknown topology"},
+		{"bad grid parameter", []string{"-target", "majority", "-input", "6,3", "-topology", "grid:axb"}, 2, "ROWSxCOLS"},
+		{"bogus topo policy", []string{"-target", "majority", "-input", "6,3", "-topology", "ring", "-topo-policy", "chaos"}, 2, "-topo-policy must be one of"},
+		{"policy without topology", []string{"-target", "majority", "-input", "6,3", "-topo-policy", "random"}, 2, "-topo-policy requires -topology"},
+		{"topology with kernel", []string{"-target", "majority", "-input", "6,3", "-topology", "ring", "-kernel", "batch"}, 2, "-topology excludes -kernel"},
+		{"topology with batch", []string{"-target", "majority", "-input", "6,3", "-topology", "ring", "-batch", "64"}, 2, "-topology excludes -kernel"},
+		{"topology with fair scheduler", []string{"-target", "majority", "-input", "6,3", "-topology", "ring", "-scheduler", "fair"}, 2, "-topology replaces -scheduler"},
+		{"faults without topology", []string{"-target", "majority", "-input", "6,3", "-crash", "0.1"}, 2, "require -topology"},
+		{"crash rate out of range", []string{"-target", "majority", "-input", "6,3", "-topology", "ring", "-crash", "1.5"}, 2, "outside [0, 1]"},
+		{"grid mismatch", []string{"-target", "majority", "-input", "6,3", "-topology", "grid:5x5"}, 1, "grid"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -173,6 +183,36 @@ func TestRunFlagValidation(t *testing.T) {
 				t.Fatalf("usage-error stderr missing usage text:\n%s", stderr.String())
 			}
 		})
+	}
+}
+
+// TestRunTopologyFlag drives -topology end to end: the run reports the
+// graph and policy, converges, and is byte-reproducible for a fixed seed —
+// including with fault injection on.
+func TestRunTopologyFlag(t *testing.T) {
+	args := [][]string{
+		{"-target", "majority", "-input", "12,5", "-topology", "clique", "-topo-policy", "adversary", "-seed", "3"},
+		{"-target", "unary:1", "-input", "24", "-topology", "powerlaw", "-topo-policy", "roundrobin",
+			"-crash", "0.02", "-revive", "0.3", "-runs", "3", "-seed", "5"},
+		{"-target", "unary:1", "-input", "16", "-topology", "grid:4x4", "-join", "0.001", "-seed", "7"},
+	}
+	for _, a := range args {
+		var first string
+		for i := 0; i < 2; i++ {
+			var stdout, stderr bytes.Buffer
+			if code := run(a, &stdout, &stderr); code != 0 {
+				t.Fatalf("%v: exit code %d\nstderr: %s", a, code, stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "topology:") {
+				t.Fatalf("%v: missing topology line:\n%s", a, stdout.String())
+			}
+			if i == 0 {
+				first = stdout.String()
+			} else if stdout.String() != first {
+				t.Fatalf("%v: topology run not reproducible:\n--- 1 ---\n%s--- 2 ---\n%s",
+					a, first, stdout.String())
+			}
+		}
 	}
 }
 

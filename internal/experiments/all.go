@@ -35,6 +35,10 @@ type Config struct {
 	// (simulate.KernelExact/Batch/Auto); empty keeps the legacy
 	// batch-size-driven scheduler selection.
 	ConvergenceKernel string
+	// TopologyM / TopologyRuns configure E16's population size and runs per
+	// (protocol, topology) cell (defaults 16 / 2).
+	TopologyM    int64
+	TopologyRuns int
 	// ExploreWorkers is the frontier-expansion worker count handed to the
 	// parallel exact model checker for the exhaustive checks (E2's machine
 	// verification, E11's baseline verdicts). Zero means one worker per
@@ -64,6 +68,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConvergenceRuns == 0 {
 		c.ConvergenceRuns = 5
+	}
+	if c.TopologyM == 0 {
+		c.TopologyM = 16
+	}
+	if c.TopologyRuns == 0 {
+		c.TopologyRuns = 2
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -95,6 +105,9 @@ func All(cfg Config) ([]*Table, error) {
 		{"convergence", func() (*Table, error) {
 			return Convergence(cfg.ConvergenceSizes, cfg.ConvergenceRuns, cfg.Seed,
 				cfg.ConvergenceBatch, cfg.ConvergenceWorkers, cfg.ConvergenceKernel)
+		}},
+		{"topology", func() (*Table, error) {
+			return TopologyConvergence(cfg.TopologyM, cfg.TopologyRuns, cfg.Seed)
 		}},
 		{"profile", func() (*Table, error) {
 			return ProcedureProfile(2, 10, 2_000_000, cfg.Seed)

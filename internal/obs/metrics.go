@@ -30,6 +30,22 @@ type SchedMetrics struct {
 	// InteractionsPerSec is the throughput of the most recent collision
 	// kernel StepN call, in scheduler decisions per wall-clock second.
 	InteractionsPerSec Gauge
+	// GraphSteps counts scheduling decisions taken by the topology-restricted
+	// schedulers (a subset of Steps).
+	GraphSteps Counter
+	// TopoInteractions counts topology-scheduler decisions per topology
+	// kind; slots follow sched's kind order (clique, ring, grid, powerlaw,
+	// edges).
+	TopoInteractions Vec
+	// Crashes / Revives / Joins count fault-injection events applied by the
+	// topology schedulers (both rate-driven and explicitly scripted).
+	Crashes Counter
+	Revives Counter
+	Joins   Counter
+	// StarvationGap records, at each edge selection, how many scheduling
+	// decisions elapsed since that edge was last selected — the empirical
+	// fairness profile of a schedule.
+	StarvationGap Hist
 }
 
 // SimMetrics instruments internal/simulate's runner and measurement pool.

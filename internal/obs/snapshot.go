@@ -30,6 +30,12 @@ type SchedSnap struct {
 	BatchRoundSize     HistSnap `json:"batch_round_size"`
 	BatchFallbacks     int64    `json:"batch_fallbacks"`
 	InteractionsPerSec int64    `json:"interactions_per_sec"`
+	GraphSteps         int64    `json:"graph_steps"`
+	TopoInteractions   []int64  `json:"topo_interactions,omitempty"`
+	Crashes            int64    `json:"crashes"`
+	Revives            int64    `json:"revives"`
+	Joins              int64    `json:"joins"`
+	StarvationGap      HistSnap `json:"starvation_gap"`
 }
 
 // SimSnap is the frozen simulation group.
@@ -83,6 +89,12 @@ func (m *Metrics) Snapshot() Snap {
 		BatchRoundSize:     m.sched.BatchRoundSize.snapshot(),
 		BatchFallbacks:     m.sched.BatchFallbacks.Load(),
 		InteractionsPerSec: m.sched.InteractionsPerSec.Load(),
+		GraphSteps:         m.sched.GraphSteps.Load(),
+		TopoInteractions:   m.sched.TopoInteractions.snapshot(),
+		Crashes:            m.sched.Crashes.Load(),
+		Revives:            m.sched.Revives.Load(),
+		Joins:              m.sched.Joins.Load(),
+		StarvationGap:      m.sched.StarvationGap.snapshot(),
 	}
 	s.Sim = SimSnap{
 		RunsStarted:  m.sim.RunsStarted.Load(),

@@ -1,0 +1,83 @@
+package sched
+
+import "fmt"
+
+// Faults configures the fault-injection layer of the topology schedulers
+// (the §8 robustness axis, taken further than the paper: the adversary now
+// perturbs the *population*, not just the initial registers).
+//
+// Semantics, applied at the start of every scheduling decision:
+//
+//   - Crash: with this probability one uniformly random alive agent crashes.
+//     A crashed agent keeps its state and stays in the configuration — it
+//     still counts for the consensus output and for quiescence — but all of
+//     its edges go dark, so it interacts with nobody. Crashes never reduce
+//     the alive population below MinAlive.
+//   - Revive: with this probability one uniformly random crashed agent
+//     revives in the state it crashed with; its edges to alive neighbours
+//     light up again.
+//   - Join: with this probability a fresh agent in state JoinState joins,
+//     wired to Attach distinct alive agents chosen preferentially at random.
+//     Joins grow the configuration (and so the population size m).
+//
+// Crashed-but-revivable agents keep the run non-quiescent: the scheduler's
+// Quiescent method treats their edges as live, so the runner never declares
+// definite stabilisation while a crashed agent could still change the
+// outcome.
+type Faults struct {
+	// Crash / Revive / Join are per-decision event probabilities in [0, 1].
+	Crash  float64
+	Revive float64
+	Join   float64
+	// JoinState is the protocol state index joining agents start in (state 0
+	// when unset; CLIs pass the protocol's first input state).
+	JoinState int
+	// Attach is the number of edges wired for each joining agent (default 2,
+	// clamped to the alive population).
+	Attach int
+	// MinAlive is the crash floor (default and minimum 2: a scheduler needs
+	// a pair).
+	MinAlive int
+}
+
+// Validate rejects out-of-range rates. The JoinState range is checked at
+// scheduler construction, where the protocol is known.
+func (f *Faults) Validate() error {
+	if f == nil {
+		return nil
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"Crash", f.Crash}, {"Revive", f.Revive}, {"Join", f.Join}} {
+		if r.v < 0 || r.v > 1 || r.v != r.v {
+			return fmt.Errorf("sched: fault rate %s = %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if f.JoinState < 0 {
+		return fmt.Errorf("sched: negative JoinState %d", f.JoinState)
+	}
+	if f.Attach < 0 {
+		return fmt.Errorf("sched: negative Attach %d", f.Attach)
+	}
+	if f.MinAlive < 0 {
+		return fmt.Errorf("sched: negative MinAlive %d", f.MinAlive)
+	}
+	return nil
+}
+
+// minAlive is the effective crash floor.
+func (f *Faults) minAlive() int {
+	if f == nil || f.MinAlive < 2 {
+		return 2
+	}
+	return f.MinAlive
+}
+
+// attach is the effective join wiring count.
+func (f *Faults) attach() int {
+	if f == nil || f.Attach < 1 {
+		return 2
+	}
+	return f.Attach
+}

@@ -1,0 +1,569 @@
+package sched
+
+// Graph-restricted schedulers: the uniform random-pair model of §1 with the
+// complete interaction graph replaced by an arbitrary topology. Agents are
+// individual vertices with fixed neighbourhoods; each scheduling decision
+// (after optional fault injection) draws an *edge* among the alive edges,
+// orients it uniformly, and fires a uniformly chosen candidate transition —
+// on the clique this law coincides exactly with RandomPair's (certified by
+// the conformance suite's recorded-RNG enumeration).
+//
+// Edge sampling is Fenwick-indexed over 0/1 edge weights (1 = both endpoints
+// alive), so crashes and revives are O(deg·log E) and draws are O(log E).
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/multiset"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// Policy names for the edge-selection policies layered over the graph core.
+const (
+	// PolicyRandom draws a uniformly random alive edge each step — the
+	// topology-restricted analogue of the paper's uniform scheduler.
+	PolicyRandom = "random"
+	// PolicyRoundRobin sweeps the alive edges in a fixed cyclic order:
+	// deterministic edge choice, maximally even edge-firing frequencies.
+	PolicyRoundRobin = "roundrobin"
+	// PolicyStarvation is the max-delay adversary: it re-serves the most
+	// recently refreshed edge until some edge's age reaches the starvation
+	// bound, then serves the oldest — the most uneven schedule that still
+	// honours a bounded-delay fairness guarantee.
+	PolicyStarvation = "starvation"
+	// PolicyAdversary is the seed-driven worst-case chooser: with
+	// probability ε it mixes uniformly (which keeps runs fair a.s.);
+	// otherwise it fires, among all enabled options, one keeping the
+	// population as close to a mixed output as possible.
+	PolicyAdversary = "adversary"
+)
+
+// GraphOptions configures NewTopologyScheduler.
+type GraphOptions struct {
+	// Policy is one of the Policy* constants (empty = PolicyRandom).
+	Policy string
+	// StarvationBound is PolicyStarvation's max-delay bound; ≤ 0 means
+	// 2·|E|+64.
+	StarvationBound int64
+	// Epsilon is PolicyAdversary's uniform-mixing probability; 0 means 1/8.
+	Epsilon float64
+	// Faults enables fault injection (nil = no faults).
+	Faults *Faults
+}
+
+// graphCore is the agent-level machinery shared by every topology-restricted
+// scheduler: per-agent states mirroring the attached multiset, alive/crashed
+// bookkeeping, the Fenwick-indexed edge sampler, and fault injection.
+type graphCore struct {
+	p       *protocol.Protocol
+	rng     source
+	index   map[pairKey][]protocol.Transition
+	hasFire map[pairKey]bool // ordered pairs with ≥ 1 non-silent candidate
+	faults  *Faults
+	kind    string
+	kindIdx int
+
+	// base is the pristine topology; attach rebuilds all mutable state from
+	// it, so joined agents and edges never leak across runs.
+	base  [][2]int
+	baseN int
+
+	ends     [][2]int // edge endpoints (smaller first), grows on join
+	incident [][]int  // agent → incident edge indices
+	weights  []int64  // per-edge weight: 1 iff both endpoints alive
+	lastSel  []int64  // per-edge step index of the last selection
+	fen      *fenwick
+	aliveE   int64 // number of weight-1 edges
+
+	states     []int // per-agent protocol state
+	alive      []bool
+	aliveIDs   []int // alive agent ids (swap-removal order)
+	alivePos   []int // agent id → index in aliveIDs, −1 when crashed
+	crashedIDs []int
+	crashedPos []int
+	accCount   int64 // agents in accepting states (adversary's objective)
+
+	attached *multiset.Multiset
+	step     int64 // scheduling decisions since attach
+
+	// onFire / onSelect observe fired transitions and edge selections; the
+	// conformance and fuzz suites use them.
+	onFire   func(protocol.Transition)
+	onSelect func(edge int)
+	met      *obs.SchedMetrics
+}
+
+func newGraphCore(p *protocol.Protocol, topo *Topology, rng source, faults *Faults) (graphCore, error) {
+	if err := faults.Validate(); err != nil {
+		return graphCore{}, err
+	}
+	if faults != nil && faults.JoinState >= p.NumStates() {
+		return graphCore{}, fmt.Errorf("sched: JoinState %d out of range for protocol %q (%d states)",
+			faults.JoinState, p.Name, p.NumStates())
+	}
+	if topo.N < 2 || len(topo.Edges) == 0 {
+		return graphCore{}, fmt.Errorf("sched: topology needs ≥ 2 agents and ≥ 1 edge (got %d, %d)",
+			topo.N, len(topo.Edges))
+	}
+	index := pairIndex(p)
+	hasFire := make(map[pairKey]bool, len(index))
+	for k, cands := range index {
+		for _, t := range cands {
+			if !t.IsSilent() {
+				hasFire[k] = true
+				break
+			}
+		}
+	}
+	base := make([][2]int, len(topo.Edges))
+	copy(base, topo.Edges)
+	return graphCore{
+		p: p, rng: rng, index: index, hasFire: hasFire, faults: faults,
+		kind: topo.Kind, kindIdx: topoKindIndex(topo.Kind),
+		base: base, baseN: topo.N,
+		met: obs.Sched(),
+	}, nil
+}
+
+// attach binds the core to configuration c, rebuilding every piece of
+// mutable state from the pristine topology. The population must match the
+// topology size; individual agents are assigned states in state order.
+func (g *graphCore) attach(c *multiset.Multiset) {
+	if g.attached == c {
+		return
+	}
+	if c.Size() != int64(g.baseN) {
+		panic(fmt.Sprintf("sched: topology over %d agents cannot schedule a population of %d",
+			g.baseN, c.Size()))
+	}
+	n := g.baseN
+	g.states = g.states[:0]
+	for st := 0; st < c.Len(); st++ {
+		for k := int64(0); k < c.Count(st); k++ {
+			g.states = append(g.states, st)
+		}
+	}
+	g.accCount = 0
+	for _, st := range g.states {
+		if g.p.Accepting[st] {
+			g.accCount++
+		}
+	}
+	g.alive = resizeBool(g.alive, n)
+	g.aliveIDs = g.aliveIDs[:0]
+	g.alivePos = resizeInt(g.alivePos, n)
+	g.crashedIDs = g.crashedIDs[:0]
+	g.crashedPos = resizeInt(g.crashedPos, n)
+	for i := 0; i < n; i++ {
+		g.alive[i] = true
+		g.alivePos[i] = i
+		g.aliveIDs = append(g.aliveIDs, i)
+		g.crashedPos[i] = -1
+	}
+	g.ends = append(g.ends[:0], g.base...)
+	g.incident = g.incident[:0]
+	for i := 0; i < n; i++ {
+		g.incident = append(g.incident, nil)
+	}
+	g.weights = g.weights[:0]
+	g.lastSel = g.lastSel[:0]
+	for e, ab := range g.ends {
+		g.incident[ab[0]] = append(g.incident[ab[0]], e)
+		g.incident[ab[1]] = append(g.incident[ab[1]], e)
+		g.weights = append(g.weights, 1)
+		g.lastSel = append(g.lastSel, 0)
+	}
+	g.fen = newFenwick(g.weights)
+	g.aliveE = int64(len(g.ends))
+	g.step = 0
+	g.attached = c
+	if g.met != nil {
+		g.met.FenwickRebuilds.Inc()
+	}
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func resizeInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// beginStep opens one scheduling decision: telemetry, the step counter, and
+// fault injection.
+func (g *graphCore) beginStep() {
+	g.step++
+	if g.met != nil {
+		g.met.Steps.Inc()
+		g.met.GraphSteps.Inc()
+		g.met.TopoInteractions.Add(g.kindIdx, 1)
+	}
+	if g.faults != nil {
+		g.injectFaults()
+	}
+}
+
+func (g *graphCore) injectFaults() {
+	f := g.faults
+	if f.Crash > 0 && g.rng.Float64() < f.Crash && len(g.aliveIDs) > f.minAlive() {
+		g.crash(g.aliveIDs[g.rng.Intn(len(g.aliveIDs))])
+	}
+	if f.Revive > 0 && len(g.crashedIDs) > 0 && g.rng.Float64() < f.Revive {
+		g.revive(g.crashedIDs[g.rng.Intn(len(g.crashedIDs))])
+	}
+	if f.Join > 0 && g.rng.Float64() < f.Join {
+		g.join(f.JoinState, f.attach())
+	}
+}
+
+// crash takes agent a out of the interaction graph; its state stays in the
+// configuration.
+func (g *graphCore) crash(a int) {
+	g.alive[a] = false
+	i, last := g.alivePos[a], len(g.aliveIDs)-1
+	moved := g.aliveIDs[last]
+	g.aliveIDs[i] = moved
+	g.alivePos[moved] = i
+	g.aliveIDs = g.aliveIDs[:last]
+	g.alivePos[a] = -1
+	g.crashedPos[a] = len(g.crashedIDs)
+	g.crashedIDs = append(g.crashedIDs, a)
+	for _, e := range g.incident[a] {
+		if g.weights[e] == 1 {
+			g.weights[e] = 0
+			g.fen.add(e, -1)
+			g.aliveE--
+		}
+	}
+	if g.met != nil {
+		g.met.Crashes.Inc()
+	}
+}
+
+// revive brings a crashed agent back in the state it crashed with.
+func (g *graphCore) revive(a int) {
+	g.alive[a] = true
+	i, last := g.crashedPos[a], len(g.crashedIDs)-1
+	moved := g.crashedIDs[last]
+	g.crashedIDs[i] = moved
+	g.crashedPos[moved] = i
+	g.crashedIDs = g.crashedIDs[:last]
+	g.crashedPos[a] = -1
+	g.alivePos[a] = len(g.aliveIDs)
+	g.aliveIDs = append(g.aliveIDs, a)
+	for _, e := range g.incident[a] {
+		other := g.ends[e][0] + g.ends[e][1] - a
+		if g.alive[other] && g.weights[e] == 0 {
+			g.weights[e] = 1
+			g.fen.add(e, 1)
+			g.aliveE++
+		}
+	}
+	if g.met != nil {
+		g.met.Revives.Inc()
+	}
+}
+
+// join adds a fresh agent in the given state, wired to attach distinct alive
+// agents, and grows the attached configuration. The Fenwick index is rebuilt
+// (joins are rare; rebuilds are O(E)).
+func (g *graphCore) join(state, attach int) int {
+	id := len(g.states)
+	g.states = append(g.states, state)
+	g.alive = append(g.alive, true)
+	g.alivePos = append(g.alivePos, len(g.aliveIDs))
+	g.aliveIDs = append(g.aliveIDs, id)
+	g.crashedPos = append(g.crashedPos, -1)
+	g.incident = append(g.incident, nil)
+	g.attached.Add(state, 1)
+	if g.p.Accepting[state] {
+		g.accCount++
+	}
+	k := attach
+	if max := len(g.aliveIDs) - 1; k > max {
+		k = max
+	}
+	var targets []int
+	for len(targets) < k {
+		t := g.aliveIDs[g.rng.Intn(len(g.aliveIDs))]
+		if t == id || containsInt(targets, t) {
+			continue
+		}
+		targets = append(targets, t)
+	}
+	for _, t := range targets {
+		a, b := t, id
+		if a > b {
+			a, b = b, a
+		}
+		e := len(g.ends)
+		g.ends = append(g.ends, [2]int{a, b})
+		g.weights = append(g.weights, 1)
+		g.lastSel = append(g.lastSel, g.step)
+		g.incident[t] = append(g.incident[t], e)
+		g.incident[id] = append(g.incident[id], e)
+		g.aliveE++
+	}
+	g.fen = newFenwick(g.weights)
+	if g.met != nil {
+		g.met.Joins.Inc()
+		g.met.FenwickRebuilds.Inc()
+	}
+	return id
+}
+
+// sampleEdge draws a uniformly random alive edge. Callers guard aliveE > 0.
+func (g *graphCore) sampleEdge() int {
+	return g.fen.find(g.rng.Int63n(g.aliveE))
+}
+
+// selectEdge records edge e as this step's selection (starvation-gap
+// telemetry and the per-edge ages the starvation policy reads).
+func (g *graphCore) selectEdge(e int) {
+	if g.met != nil {
+		g.met.StarvationGap.Observe(g.step - g.lastSel[e])
+	}
+	g.lastSel[e] = g.step
+	if g.onSelect != nil {
+		g.onSelect(e)
+	}
+}
+
+// fireEdge completes a scheduling decision on edge e under the uniform law:
+// uniform orientation, then a uniform candidate transition for the oriented
+// state pair. Returns whether the configuration changed.
+func (g *graphCore) fireEdge(e int) bool {
+	g.selectEdge(e)
+	a, b := g.ends[e][0], g.ends[e][1]
+	if g.rng.Intn(2) == 1 {
+		a, b = b, a
+	}
+	cands := g.index[pairKey{g.states[a], g.states[b]}]
+	if len(cands) == 0 {
+		return false
+	}
+	t := cands[g.rng.Intn(len(cands))]
+	if t.IsSilent() {
+		return false
+	}
+	g.apply(a, b, t)
+	return true
+}
+
+// apply fires transition t with initiator a and responder b.
+func (g *graphCore) apply(a, b int, t protocol.Transition) {
+	g.p.Apply(g.attached, t)
+	acc := g.p.Accepting
+	g.accCount += accDelta(acc[t.Q2]) + accDelta(acc[t.R2]) - accDelta(acc[t.Q]) - accDelta(acc[t.R])
+	g.states[a] = t.Q2
+	g.states[b] = t.R2
+	if g.met != nil {
+		g.met.Effective.Inc()
+	}
+	if g.onFire != nil {
+		g.onFire(t)
+	}
+}
+
+func accDelta(accepting bool) int64 {
+	if accepting {
+		return 1
+	}
+	return 0
+}
+
+// Quiescent reports whether the attached configuration can never change
+// again under this scheduler: no alive edge joins a reactive state pair, no
+// crashed agent could revive into one, and no join can add agents. The
+// simulate runner prefers this over the multiset-level enabled-transition
+// scan, which cannot see adjacency (two reactive states held only by
+// non-adjacent agents will never meet) or crashed-but-revivable agents.
+func (g *graphCore) Quiescent() bool {
+	if g.attached == nil {
+		return false
+	}
+	if g.faults != nil && g.faults.Join > 0 {
+		return false
+	}
+	revivable := g.faults != nil && g.faults.Revive > 0 && len(g.crashedIDs) > 0
+	for _, ab := range g.ends {
+		a, b := ab[0], ab[1]
+		if !revivable && (!g.alive[a] || !g.alive[b]) {
+			continue
+		}
+		qa, qb := g.states[a], g.states[b]
+		if g.hasFire[pairKey{qa, qb}] || g.hasFire[pairKey{qb, qa}] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bind attaches the scheduler to c before the first Step, so tests and
+// harnesses can script faults against a known agent layout (agents are
+// numbered 0..m−1 in state order).
+func (g *graphCore) Bind(c *multiset.Multiset) {
+	g.attach(c)
+}
+
+// NumAgents returns the number of agents tracked (alive + crashed), or 0
+// before Bind/Step.
+func (g *graphCore) NumAgents() int { return len(g.states) }
+
+// AliveAgents returns the number of alive agents.
+func (g *graphCore) AliveAgents() int { return len(g.aliveIDs) }
+
+// AgentState returns agent id's current protocol state.
+func (g *graphCore) AgentState(id int) (int, error) {
+	if id < 0 || id >= len(g.states) {
+		return 0, fmt.Errorf("sched: agent %d out of range (%d agents)", id, len(g.states))
+	}
+	return g.states[id], nil
+}
+
+// CrashAgent deterministically crashes agent id (harness counterpart of the
+// rate-driven injection). The scheduler must be bound first.
+func (g *graphCore) CrashAgent(id int) error {
+	switch {
+	case g.attached == nil:
+		return fmt.Errorf("sched: CrashAgent before Bind")
+	case id < 0 || id >= len(g.states):
+		return fmt.Errorf("sched: agent %d out of range (%d agents)", id, len(g.states))
+	case !g.alive[id]:
+		return fmt.Errorf("sched: agent %d is already crashed", id)
+	case len(g.aliveIDs) <= 2:
+		return fmt.Errorf("sched: refusing to crash below 2 alive agents")
+	}
+	g.crash(id)
+	return nil
+}
+
+// ReviveAgent deterministically revives a crashed agent.
+func (g *graphCore) ReviveAgent(id int) error {
+	switch {
+	case g.attached == nil:
+		return fmt.Errorf("sched: ReviveAgent before Bind")
+	case id < 0 || id >= len(g.states):
+		return fmt.Errorf("sched: agent %d out of range (%d agents)", id, len(g.states))
+	case g.alive[id]:
+		return fmt.Errorf("sched: agent %d is not crashed", id)
+	}
+	g.revive(id)
+	return nil
+}
+
+// JoinAgent deterministically joins a fresh agent in the given state and
+// returns its id.
+func (g *graphCore) JoinAgent(state int) (int, error) {
+	switch {
+	case g.attached == nil:
+		return 0, fmt.Errorf("sched: JoinAgent before Bind")
+	case state < 0 || state >= g.p.NumStates():
+		return 0, fmt.Errorf("sched: state %d out of range for protocol %q", state, g.p.Name)
+	}
+	return g.join(state, g.faults.attach()), nil
+}
+
+// checkInvariants verifies the structural invariants the conformance and
+// fuzz suites rely on: edge weights consistent with liveness, the Fenwick
+// total and aliveE in agreement, and the per-agent states summing to the
+// attached multiset.
+func (g *graphCore) checkInvariants() error {
+	if g.attached == nil {
+		return nil
+	}
+	var total int64
+	for e, ab := range g.ends {
+		want := int64(0)
+		if g.alive[ab[0]] && g.alive[ab[1]] {
+			want = 1
+		}
+		if g.weights[e] != want {
+			return fmt.Errorf("edge %d (%d,%d): weight %d, want %d", e, ab[0], ab[1], g.weights[e], want)
+		}
+		total += g.weights[e]
+	}
+	if total != g.aliveE {
+		return fmt.Errorf("aliveE %d, recomputed %d", g.aliveE, total)
+	}
+	counts := make([]int64, g.attached.Len())
+	for _, st := range g.states {
+		counts[st]++
+	}
+	for st := range counts {
+		if counts[st] != g.attached.Count(st) {
+			return fmt.Errorf("state %d: %d agents tracked, multiset holds %d",
+				st, counts[st], g.attached.Count(st))
+		}
+	}
+	if len(g.aliveIDs)+len(g.crashedIDs) != len(g.states) {
+		return fmt.Errorf("alive %d + crashed %d ≠ agents %d",
+			len(g.aliveIDs), len(g.crashedIDs), len(g.states))
+	}
+	return nil
+}
+
+// GraphScheduler is the graph-restricted uniform scheduler (PolicyRandom):
+// each decision draws a uniformly random alive edge, orients it uniformly,
+// and fires a uniform candidate transition. On the clique this is exactly
+// the RandomPair law.
+type GraphScheduler struct {
+	graphCore
+}
+
+var _ Scheduler = (*GraphScheduler)(nil)
+
+// NewGraphScheduler builds the uniform graph-restricted scheduler.
+func NewGraphScheduler(p *protocol.Protocol, topo *Topology, rng *rand.Rand, faults *Faults) (*GraphScheduler, error) {
+	return newGraphScheduler(p, topo, rng, faults)
+}
+
+func newGraphScheduler(p *protocol.Protocol, topo *Topology, rng source, faults *Faults) (*GraphScheduler, error) {
+	core, err := newGraphCore(p, topo, rng, faults)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphScheduler{graphCore: core}, nil
+}
+
+// Step implements Scheduler.
+func (s *GraphScheduler) Step(c *multiset.Multiset) bool {
+	s.attach(c)
+	s.beginStep()
+	if s.aliveE == 0 {
+		return false
+	}
+	return s.fireEdge(s.sampleEdge())
+}
+
+// NewTopologyScheduler wraps topo in the edge-selection policy named by
+// o.Policy, with o.Faults injected each step. It is the single constructor
+// the CLIs and simulate.Options route through.
+func NewTopologyScheduler(p *protocol.Protocol, topo *Topology, rng *rand.Rand, o GraphOptions) (Scheduler, error) {
+	return newTopologyScheduler(p, topo, rng, o)
+}
+
+func newTopologyScheduler(p *protocol.Protocol, topo *Topology, rng source, o GraphOptions) (Scheduler, error) {
+	switch o.Policy {
+	case "", PolicyRandom:
+		return newGraphScheduler(p, topo, rng, o.Faults)
+	case PolicyRoundRobin:
+		return newRoundRobin(p, topo, rng, o.Faults)
+	case PolicyStarvation:
+		return newStarvation(p, topo, rng, o.Faults, o.StarvationBound)
+	case PolicyAdversary:
+		return newAdversary(p, topo, rng, o.Faults, o.Epsilon)
+	default:
+		return nil, fmt.Errorf("sched: unknown edge-selection policy %q (want %q, %q, %q or %q)",
+			o.Policy, PolicyRandom, PolicyRoundRobin, PolicyStarvation, PolicyAdversary)
+	}
+}

@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestTopologyGenerators(t *testing.T) {
+	cases := []struct {
+		name      string
+		build     func() (*Topology, error)
+		wantN     int
+		wantEdges int
+	}{
+		{"clique-6", func() (*Topology, error) { return CliqueTopology(6) }, 6, 15},
+		{"clique-2", func() (*Topology, error) { return CliqueTopology(2) }, 2, 1},
+		{"ring-8", func() (*Topology, error) { return RingTopology(8) }, 8, 8},
+		{"ring-2", func() (*Topology, error) { return RingTopology(2) }, 2, 1},
+		{"grid-3x4", func() (*Topology, error) { return GridTopology(3, 4) }, 12, 17},
+		{"grid-1x5", func() (*Topology, error) { return GridTopology(1, 5) }, 5, 4},
+		{"powerlaw-10", func() (*Topology, error) { return PowerLawTopology(10, 2, 7) }, 10, 2 + 2*7},
+		{"edges", func() (*Topology, error) {
+			return EdgeListTopology(4, [][2]int{{0, 1}, {1, 2}, {3, 2}})
+		}, 4, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if topo.N != tc.wantN || len(topo.Edges) != tc.wantEdges {
+				t.Fatalf("got %d agents / %d edges, want %d / %d",
+					topo.N, len(topo.Edges), tc.wantN, tc.wantEdges)
+			}
+			if !topo.Connected() {
+				t.Fatal("generated topology is disconnected")
+			}
+			seen := make(map[[2]int]bool)
+			for _, e := range topo.Edges {
+				if e[0] >= e[1] {
+					t.Fatalf("edge %v is not normalised (smaller endpoint first)", e)
+				}
+				if e[0] < 0 || e[1] >= topo.N {
+					t.Fatalf("edge %v out of range for %d agents", e, topo.N)
+				}
+				if seen[e] {
+					t.Fatalf("duplicate edge %v", e)
+				}
+				seen[e] = true
+			}
+		})
+	}
+}
+
+func TestTopologyGeneratorErrors(t *testing.T) {
+	if _, err := CliqueTopology(1); err == nil {
+		t.Error("clique of 1 accepted")
+	}
+	if _, err := CliqueTopology(maxCliqueAgents + 1); err == nil {
+		t.Error("oversized clique accepted")
+	}
+	if _, err := RingTopology(1); err == nil {
+		t.Error("ring of 1 accepted")
+	}
+	if _, err := GridTopology(1, 1); err == nil {
+		t.Error("1×1 grid accepted")
+	}
+	if _, err := EdgeListTopology(3, [][2]int{{0, 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := EdgeListTopology(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := EdgeListTopology(3, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge (swapped orientation) accepted")
+	}
+	if _, err := EdgeListTopology(3, nil); err == nil {
+		t.Error("empty edge list accepted")
+	}
+}
+
+// TestPowerLawDeterministicAndSkewed pins that the BA wiring is a pure
+// function of (n, attach, seed) and actually produces a degree skew (some
+// agent well above the attach degree).
+func TestPowerLawDeterministicAndSkewed(t *testing.T) {
+	a, err := PowerLawTopology(64, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerLawTopology(64, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("non-deterministic wiring: %d vs %d edges", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("non-deterministic wiring at edge %d: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+	deg := make([]int, a.N)
+	for _, e := range a.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 6 {
+		t.Fatalf("no preferential-attachment skew: max degree %d", max)
+	}
+}
+
+func TestTopologySpecBuild(t *testing.T) {
+	// Default grid shape: most-square factorisation.
+	topo, err := TopologySpec{Kind: TopoGrid}.Build(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Edges) != 17 { // 3×4 lattice
+		t.Fatalf("grid over 12 agents has %d edges, want 17 (3×4)", len(topo.Edges))
+	}
+	// Prime sizes degenerate to a path.
+	topo, err = TopologySpec{Kind: TopoGrid}.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Edges) != 6 {
+		t.Fatalf("grid over 7 agents has %d edges, want 6 (1×7 path)", len(topo.Edges))
+	}
+	if _, err := (TopologySpec{Kind: TopoGrid, Rows: 3, Cols: 3}).Build(8); err == nil {
+		t.Error("3×3 grid over 8 agents accepted")
+	}
+	if _, err := (TopologySpec{Kind: "moebius"}).Build(8); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (TopologySpec{Kind: TopoRing}).Build(1); err == nil {
+		t.Error("population of 1 accepted")
+	}
+}
+
+func TestParseTopologySpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want TopologySpec
+		ok   bool
+	}{
+		{"clique", TopologySpec{Kind: TopoClique}, true},
+		{"ring", TopologySpec{Kind: TopoRing}, true},
+		{"grid", TopologySpec{Kind: TopoGrid}, true},
+		{"grid:4x8", TopologySpec{Kind: TopoGrid, Rows: 4, Cols: 8}, true},
+		{"powerlaw", TopologySpec{Kind: TopoPowerLaw}, true},
+		{"powerlaw:3", TopologySpec{Kind: TopoPowerLaw, Attach: 3}, true},
+		{"grid:4", TopologySpec{}, false},
+		{"grid:0x4", TopologySpec{}, false},
+		{"powerlaw:zero", TopologySpec{}, false},
+		{"clique:5", TopologySpec{}, false},
+		{"torus", TopologySpec{}, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseTopologySpec(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseTopologySpec(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && (got.Kind != tc.want.Kind || got.Rows != tc.want.Rows ||
+			got.Cols != tc.want.Cols || got.Attach != tc.want.Attach) {
+			t.Errorf("ParseTopologySpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

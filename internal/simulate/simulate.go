@@ -112,6 +112,15 @@ type Options struct {
 	// in run order, so statistics are bit-identical for every worker
 	// count. Values ≤ 1 run sequentially.
 	Workers int
+	// Topology, when non-nil, restricts the interaction graph: the
+	// measurement functions drive each run through the topology schedulers
+	// of internal/sched (built fresh per run over the input population)
+	// instead of the count-based kernels. The graph schedulers are
+	// per-step, so Topology excludes Kernel and BatchSize.
+	Topology *sched.TopologySpec
+	// Faults enables fault injection (crash/revive/join) on topology runs.
+	// Requires Topology.
+	Faults *sched.Faults
 }
 
 func (o Options) maxSteps() int64 {
@@ -221,6 +230,19 @@ func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Opt
 	return res, err
 }
 
+// definitelyStable reports whether the run can never change again. A
+// scheduler carrying its own quiescence predicate (the topology schedulers:
+// adjacency- and fault-aware) is authoritative — the multiset-level scan
+// cannot see that two reactive states are held only by non-adjacent agents,
+// nor that a crashed agent might revive. Every other scheduler falls back to
+// the enabled-transition scan.
+func definitelyStable(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler) bool {
+	if q, ok := s.(interface{ Quiescent() bool }); ok {
+		return q.Quiescent()
+	}
+	return len(p.EnabledTransitions(c)) == 0
+}
+
 // runPerStep is Run's per-interaction reference path.
 func runPerStep(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Options) (*Result, error) {
 	maxSteps := opts.maxSteps()
@@ -256,7 +278,7 @@ func runPerStep(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, o
 		}
 
 		if res.Steps%period == 0 {
-			if len(p.EnabledTransitions(c)) == 0 {
+			if definitelyStable(p, c, s) {
 				res.Output = out
 				res.Quiescent = true
 				if !outputChanged {
@@ -327,7 +349,7 @@ func runBatched(p *protocol.Protocol, c *multiset.Multiset, s sched.BatchSchedul
 		}
 
 		if res.Steps%period == 0 {
-			if len(p.EnabledTransitions(c)) == 0 {
+			if definitelyStable(p, c, s) {
 				res.Output = out
 				res.Quiescent = true
 				if !outputChanged {
@@ -371,7 +393,22 @@ type ConvergenceStats struct {
 func convergenceRun(p *protocol.Protocol, inputCounts []int64, i int, seed int64, opts Options) (*Result, error) {
 	rng := sched.NewRand(seed + int64(i))
 	var s sched.Scheduler
-	if opts.Kernel != "" {
+	if opts.Topology != nil {
+		if opts.Kernel != "" || opts.BatchSize > 0 {
+			return nil, fmt.Errorf("simulate: Topology excludes Kernel and BatchSize (the graph schedulers are per-step)")
+		}
+		var m int64
+		for _, v := range inputCounts {
+			m += v
+		}
+		ts, err := opts.Topology.NewScheduler(p, rng, opts.Faults, m)
+		if err != nil {
+			return nil, err
+		}
+		s = ts
+	} else if opts.Faults != nil {
+		return nil, fmt.Errorf("simulate: Faults requires Topology (only the graph schedulers track individual agents)")
+	} else if opts.Kernel != "" {
 		var m int64
 		for _, v := range inputCounts {
 			m += v
