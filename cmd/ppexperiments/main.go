@@ -11,7 +11,8 @@
 // smoke tests); -markdown emits the tables in the format EXPERIMENTS.md
 // embeds. -batch and -workers route the convergence experiment through the
 // batched fast-path scheduler and a run-level worker pool; -kernel selects
-// its interaction kernel (exact | batch | auto — see ppsim). -explore-workers
+// its interaction kernel (exact | batch | fluid | langevin | auto — see
+// ppsim). -explore-workers
 // sets the frontier-expansion worker count of the parallel model checker
 // used by the exhaustive checks (0 = one per CPU); every table is
 // bit-identical for any value. -topology-m sizes the population of the
@@ -40,7 +41,8 @@ import (
 // the batch-size-driven scheduler selection).
 func validKernel(k string) bool {
 	switch k {
-	case "", simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto:
+	case "", simulate.KernelExact, simulate.KernelBatch,
+		simulate.KernelFluid, simulate.KernelLangevin, simulate.KernelAuto:
 		return true
 	}
 	return false
@@ -90,8 +92,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *topologyM < 0:
 		return usageErr(fmt.Errorf("-topology-m must be ≥ 0, got %d", *topologyM))
 	case !validKernel(*kernel):
-		return usageErr(fmt.Errorf("-kernel must be one of %q, %q, %q, got %q",
-			simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto, *kernel))
+		return usageErr(fmt.Errorf("-kernel must be one of %q, %q, %q, %q, %q, got %q",
+			simulate.KernelExact, simulate.KernelBatch, simulate.KernelFluid,
+			simulate.KernelLangevin, simulate.KernelAuto, *kernel))
 	}
 	stopTelemetry, err := telemetry.Start(stderr)
 	if err != nil {

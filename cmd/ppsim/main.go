@@ -16,7 +16,12 @@
 // null-interaction skipping); -kernel selects the interaction kernel
 // instead: exact (per-step law with geometric null skipping), batch (the
 // count-based collision kernel advancing whole tau-leap rounds — the
-// large-n fast path), or auto (batch for populations of ≥ 4096 agents).
+// large-n fast path), fluid (deterministic mean-field ODE integration),
+// langevin (mean-field drift plus 1/√m chemical Langevin noise), or auto
+// (the full simulation ladder: exact below 4096 agents, tau-leap rounds up
+// to 65,536, then the hybrid fluid/discrete ladder — the only kernel that
+// reaches m = 10¹²⁺). -fluid-floor tunes the ladder's regime switch-over
+// bound (agents per consumed species required for the fluid tier).
 // Any -kernel implies batched driving with a default chunk of 65,536 steps
 // when -batch is 0. -window and -qperiod override the stable-window and
 // quiescence-check lengths for large-n runs. -runs R repeats the run R
@@ -77,7 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	batch := fs.Int64("batch", 0,
 		"batched fast-path chunk size for protocol targets (0 = per-step; implies -scheduler batch when set)")
 	kernel := fs.String("kernel", "",
-		"interaction kernel for protocol targets: exact | batch | auto (overrides -scheduler; implies batching)")
+		"interaction kernel for protocol targets: exact | batch | fluid | langevin | auto (overrides -scheduler; implies batching)")
+	fluidFloor := fs.Int64("fluid-floor", 0,
+		"agents per consumed species required for the auto kernel's fluid tier (0 = default 16384)")
 	window := fs.Int64("window", 0, "stable-window length for protocol targets (0 = default 10000)")
 	qperiod := fs.Int64("qperiod", 0, "quiescence-check period for protocol targets (0 = default 1000)")
 	runs := fs.Int("runs", 1, "repeat protocol runs this many times (seeds seed..seed+runs-1) and report summary statistics")
@@ -113,10 +120,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *qperiod < 0:
 		return usageErr(fmt.Errorf("-qperiod must be ≥ 0, got %d", *qperiod))
 	case !validKernel(*kernel):
-		return usageErr(fmt.Errorf("-kernel must be one of %q, %q, %q, got %q",
-			simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto, *kernel))
+		return usageErr(fmt.Errorf("-kernel must be one of %q, %q, %q, %q, %q, got %q",
+			simulate.KernelExact, simulate.KernelBatch, simulate.KernelFluid,
+			simulate.KernelLangevin, simulate.KernelAuto, *kernel))
 	case *kernel != "" && *scheduler == "fair":
 		return usageErr(errors.New("-kernel only applies to the pair/batch schedulers, not fair"))
+	case *fluidFloor < 0:
+		return usageErr(fmt.Errorf("-fluid-floor must be ≥ 0, got %d", *fluidFloor))
 	case *input == "":
 		return usageErr(errors.New("-input is required"))
 	}
@@ -166,17 +176,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	so := simOptions{
-		scheduler: *scheduler,
-		seed:      *seed,
-		budget:    *budget,
-		batch:     *batch,
-		kernel:    *kernel,
-		window:    *window,
-		qperiod:   *qperiod,
-		runs:      *runs,
-		workers:   *workers,
-		topo:      topoSpec,
-		faults:    faults,
+		scheduler:  *scheduler,
+		seed:       *seed,
+		budget:     *budget,
+		batch:      *batch,
+		kernel:     *kernel,
+		fluidFloor: *fluidFloor,
+		window:     *window,
+		qperiod:    *qperiod,
+		runs:       *runs,
+		workers:    *workers,
+		topo:       topoSpec,
+		faults:     faults,
 	}
 	if err := dispatch(stdout, *target, *programPath, counts, so); err != nil {
 		fmt.Fprintln(stderr, "ppsim:", err)
@@ -306,6 +317,7 @@ type simOptions struct {
 	seed, budget    int64
 	batch           int64
 	kernel          string
+	fluidFloor      int64
 	window, qperiod int64
 	runs, workers   int
 	topo            *sched.TopologySpec
@@ -316,7 +328,8 @@ type simOptions struct {
 // the -scheduler/-batch selection).
 func validKernel(k string) bool {
 	switch k {
-	case "", simulate.KernelExact, simulate.KernelBatch, simulate.KernelAuto:
+	case "", simulate.KernelExact, simulate.KernelBatch,
+		simulate.KernelFluid, simulate.KernelLangevin, simulate.KernelAuto:
 		return true
 	}
 	return false
@@ -332,6 +345,7 @@ func simulateProtocol(w io.Writer, p *protocol.Protocol, counts []int64, so simO
 		QuiescencePeriod: so.qperiod,
 		BatchSize:        so.batch,
 		Kernel:           so.kernel,
+		FluidFloor:       so.fluidFloor,
 		Workers:          so.workers,
 		Topology:         so.topo,
 		Faults:           so.faults,

@@ -96,7 +96,7 @@ func TestSimulatePathsSmoke(t *testing.T) {
 		popprog.DecideOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	for _, kernel := range []string{"exact", "batch", "auto"} {
+	for _, kernel := range []string{"exact", "batch", "fluid", "langevin", "auto"} {
 		k := base
 		k.kernel = kernel
 		if err := simulateProtocol(io.Discard, p, []int64{6, 3}, k); err != nil {
@@ -133,6 +133,26 @@ func TestRunKernelFlag(t *testing.T) {
 	}
 }
 
+// TestRunFluidLadderTrillion drives the simulation ladder end to end from
+// the CLI: majority at m = 10¹² through -kernel auto (forced-fluid regime)
+// with an explicit -fluid-floor, finishing with the exact majority answer.
+func TestRunFluidLadderTrillion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-target", "majority", "-input", "550000000000,450000000000",
+		"-seed", "3", "-kernel", "auto", "-fluid-floor", "32768", "-budget", "4611686018427387904"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "output:        true") {
+		t.Fatalf("m = 10¹² majority did not decide true:\n%s", out)
+	}
+	if !strings.Contains(out, "kernel:        auto") {
+		t.Fatalf("missing kernel line:\n%s", out)
+	}
+}
+
 // TestRunFlagValidation pins the CLI contract: invalid flag values exit
 // non-zero with an error plus the usage text — no panic, no silent clamp.
 // run() is main() minus os.Exit, so the returned code is the exit code.
@@ -151,6 +171,7 @@ func TestRunFlagValidation(t *testing.T) {
 		{"negative window", []string{"-target", "majority", "-input", "6,3", "-window", "-1"}, 2, "-window must be ≥ 0"},
 		{"negative qperiod", []string{"-target", "majority", "-input", "6,3", "-qperiod", "-1"}, 2, "-qperiod must be ≥ 0"},
 		{"bogus kernel", []string{"-target", "majority", "-input", "6,3", "-kernel", "turbo"}, 2, "-kernel must be one of"},
+		{"negative fluid floor", []string{"-target", "majority", "-input", "6,3", "-fluid-floor", "-1"}, 2, "-fluid-floor must be"},
 		{"kernel with fair scheduler", []string{"-target", "majority", "-input", "6,3", "-kernel", "batch", "-scheduler", "fair"}, 2, "-kernel only applies"},
 		{"missing input", []string{"-target", "majority"}, 2, "-input is required"},
 		{"non-numeric flag", []string{"-runs", "x"}, 2, "invalid value"},

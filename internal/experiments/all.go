@@ -102,6 +102,7 @@ func All(cfg Config) ([]*Table, error) {
 			return Election([]int64{1, 4, 16, 48}, cfg.ConvergenceRuns, cfg.Seed)
 		}},
 		{"theorem2", func() (*Table, error) { return Theorem2(cfg.ExploreWorkers) }},
+		{"theorem2-churn", func() (*Table, error) { return Theorem2Churn(cfg.Seed) }},
 		{"convergence", func() (*Table, error) {
 			return Convergence(cfg.ConvergenceSizes, cfg.ConvergenceRuns, cfg.Seed,
 				cfg.ConvergenceBatch, cfg.ConvergenceWorkers, cfg.ConvergenceKernel)

@@ -249,7 +249,7 @@ func TestAllFastConfig(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{"E1 (Table 1)", "E2 (Figure 1)", "E3 (Figure 2)",
-		"E6 (Theorem 3)", "E9 (Theorem 5", "E11 (Theorem 2)", "E12"} {
+		"E6 (Theorem 3)", "E9 (Theorem 5", "E11 (Theorem 2)", "E11b (Theorem 2, churn)", "E12"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("All output missing %q", want)
 		}

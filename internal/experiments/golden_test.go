@@ -58,3 +58,25 @@ func TestFigure1ExactGolden(t *testing.T) {
 		}
 	}
 }
+
+// TestTheorem2ChurnGolden pins E11b cell for cell. The fault layer draws
+// from the same seeded stream as the scheduler, so every cell — including
+// the number of agents the join churn injects and the step count of the
+// ⟨elect⟩ phase under crash/revive — is a deterministic function of the
+// seed. Drift here means the fault-injection layer, a scheduler or a
+// construction changed behaviour.
+func TestTheorem2ChurnGolden(t *testing.T) {
+	tbl, err := Theorem2Churn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"unary x ≥ 5 [4]", "7 agents", "crash 0.2% / revive 0.4%", "true", "7", "yes"},
+		{"unary x ≥ 5 [4]", "4 agents", "joins in K (0.05%)", "true", "85", "NO (fooled)"},
+		{"unary x ≥ 5 [4]", "4 agents", "joins in v1 (0.05%)", "true", "97", "yes"},
+		{"threshold x ≥ 1 (§5–6, ⟨elect⟩)", "15 agents", "crash 0.1% / revive 1%", "elected (3158 steps)", "15", "yes"},
+	}
+	if !reflect.DeepEqual(tbl.Rows, want) {
+		t.Fatalf("Theorem2Churn(1) rows drifted:\n got %v\nwant %v", tbl.Rows, want)
+	}
+}

@@ -4,11 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/baseline"
+	"repro/internal/compile"
+	"repro/internal/convert"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/multiset"
 	"repro/internal/popprog"
 	"repro/internal/protocol"
+	"repro/internal/sched"
 	"repro/internal/simulate"
 )
 
@@ -119,6 +122,134 @@ func robust(got, want protocol.Output) string {
 		return "yes"
 	}
 	return "NO (fooled)"
+}
+
+// Theorem2Churn regenerates E11b: the §8 robustness axis extended from
+// static initial noise to *churn* — faults injected while the protocol runs,
+// through the fault-injection layer of the topology schedulers. Where E11
+// plants one bad agent before the run starts, E11b lets the adversary crash,
+// revive and inject agents mid-execution:
+//
+//   - crash/revive churn keeps the configuration's counts intact (a crashed
+//     agent holds its state, it just stops interacting), so a correct
+//     protocol must still decide its input;
+//   - joins in the absorbing state K are the dynamic version of E11's
+//     1-awareness attack: a single injected K converts the population and
+//     flips the decision of a threshold that was never reached;
+//   - joins in the input state are benign churn — genuinely new input units —
+//     and the decision must track the grown population.
+//
+// Every row is a fixed-seed deterministic run (the fault layer draws from
+// the same seeded stream as the scheduler), so the table is golden-pinned
+// cell for cell.
+func Theorem2Churn(seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E11b (Theorem 2, churn)",
+		Title: "robustness under churn: faults injected during the run, not just at initialisation",
+		Columns: []string{
+			"protocol", "intended input", "churn", "decided", "final m", "robust?",
+		},
+		Notes: []string{
+			"clique topology, uniform alive-edge scheduler with crash/revive/join fault injection",
+			"joins in an input state are genuine new input: robust = the decision tracks the final population",
+		},
+	}
+	unary, err := baseline.UnaryThreshold(5)
+	if err != nil {
+		return nil, err
+	}
+	clique := sched.TopologySpec{Kind: sched.TopoClique}
+	churnRun := func(p *protocol.Protocol, cfg *multiset.Multiset, f *sched.Faults,
+		steps int64, s int64) (protocol.Output, int64, error) {
+		sch, err := clique.NewScheduler(p, sched.NewRand(s), f, cfg.Size())
+		if err != nil {
+			return protocol.OutputMixed, 0, err
+		}
+		for i := int64(0); i < steps; i++ {
+			sch.Step(cfg)
+		}
+		return p.OutputOf(cfg), cfg.Size(), nil
+	}
+
+	for _, tc := range []struct {
+		input  int64
+		churn  string
+		faults *sched.Faults
+		want   protocol.Output
+	}{
+		// Crash/revive only: counts are untouched, the decision must stand.
+		{7, "crash 0.2% / revive 0.4%",
+			&sched.Faults{Crash: 0.002, Revive: 0.004},
+			protocol.OutputTrue},
+		// The 1-awareness attack, dynamic edition: one join in K suffices.
+		{4, "joins in K (0.05%)",
+			&sched.Faults{Join: 0.0005, JoinState: unary.StateIndex("K")},
+			protocol.OutputFalse},
+		// Benign churn: joins carry genuine input units past the threshold.
+		{4, "joins in v1 (0.05%)",
+			&sched.Faults{Join: 0.0005, JoinState: unary.StateIndex("v1")},
+			protocol.OutputTrue},
+	} {
+		cfg, err := baseline.NoisyConfig(unary, []int64{tc.input}, nil)
+		if err != nil {
+			return nil, err
+		}
+		decided, finalM, err := churnRun(unary, cfg, tc.faults, 200_000, seed)
+		if err != nil {
+			return nil, fmt.Errorf("theorem 2 churn, unary input %d: %w", tc.input, err)
+		}
+		t.AddRow("unary x ≥ 5 [4]", fmt.Sprintf("%d agents", tc.input), tc.churn,
+			decided, finalM, robust(decided, tc.want))
+	}
+
+	// The §5–6 construction's ⟨elect⟩ phase under crash/revive churn: pointer
+	// agents may be frozen mid-rendezvous, but as long as revival outpaces
+	// crashing the phase must still complete (E16 measures the same phase per
+	// topology; this row measures it per fault regime).
+	prog := &popprog.Program{
+		Name:      "ge1",
+		Registers: []string{"x"},
+		Procedures: []*popprog.Procedure{{
+			Name: "Main",
+			Body: []popprog.Stmt{
+				popprog.SetOF{Value: false},
+				popprog.While{Cond: popprog.Not{C: popprog.Detect{Reg: 0}}},
+				popprog.SetOF{Value: true},
+				popprog.While{Cond: popprog.True{}},
+			},
+		}},
+	}
+	machine, err := compile.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := convert.Convert(machine)
+	if err != nil {
+		return nil, err
+	}
+	mElect := int64(res.NumPointers) + 9
+	cfg, err := res.Protocol.InitialConfig(mElect)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := clique.NewScheduler(res.Protocol, sched.NewRand(seed+211),
+		&sched.Faults{Crash: 0.001, Revive: 0.01}, mElect)
+	if err != nil {
+		return nil, err
+	}
+	const electBudget = 2_000_000
+	var steps int64
+	for !res.Elected(cfg) && steps < electBudget {
+		sch.Step(cfg)
+		steps++
+	}
+	elected, verdict := "stalled", "NO (stalled)"
+	if res.Elected(cfg) {
+		elected, verdict = fmt.Sprintf("elected (%d steps)", steps), "yes"
+	}
+	t.AddRow("threshold x ≥ 1 (§5–6, ⟨elect⟩)", fmt.Sprintf("%d agents", mElect),
+		"crash 0.1% / revive 1%", elected, cfg.Size(), verdict)
+	return t, nil
 }
 
 // adversarialPlacement scatters total agents round-robin across a hostile

@@ -1,0 +1,138 @@
+// Package fluid is the top rung of the simulation ladder: deterministic
+// mean-field (fluid-limit) integration and its Langevin diffusion correction
+// over normalized count fractions, for populations far beyond what per-round
+// binomial/multinomial sampling (sched.CollisionKernel) can reach.
+//
+// The mean-field limit of the uniform random-pair law is the ODE system
+//
+//	dx_s/dτ = Σ_t a_t(x)·Δ_t(s),   a_t(x) = x_Q·x_R / #candidates(Q, R)
+//
+// over state fractions x, where τ is parallel time (one τ unit = m
+// interactions) and Δ_t is the integer per-firing count delta of transition
+// t. The channels and their weights come from sched.ReactiveChannels — the
+// same enumeration the exact sampler and the collision kernel draw from, so
+// the fluid drift is by construction the m → ∞ limit of the stochastic
+// tiers below it. The Langevin tier keeps the leading O(1/√m) fluctuation
+// term of the chemical Langevin equation:
+//
+//	dX_s = Σ_t a_t(X)·Δ_t(s)·dτ + (1/√m)·Σ_t Δ_t(s)·√a_t(X)·dW_t
+//
+// integrated by fixed-step Euler–Maruyama on a seeded RNG, so runs are
+// bit-reproducible per (seed, step-size) like every other scheduler.
+//
+// The tiers are only distributionally comparable to the discrete kernels;
+// the cross-tier KS differential suite in internal/simulate pins the
+// agreement at scales where adjacent tiers overlap (m = 10⁵–10⁷).
+package fluid
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/sched"
+)
+
+// channel is one compiled reaction channel: the consumed pair, the rate
+// coefficient 1/#candidates, and the non-zero per-state count deltas of one
+// firing (at most 4 states, duplicates collapsed).
+type channel struct {
+	q, r   int
+	inv    float64 // 1/#candidates(q, r)
+	states [4]int
+	deltas [4]float64
+	nd     int
+}
+
+// Deriv is the compiled polynomial drift of a protocol's mean-field limit.
+// It is immutable after construction and safe for concurrent use.
+type Deriv struct {
+	n     int
+	chans []channel
+}
+
+// NewDeriv compiles p's reactive channels into evaluable drift form.
+func NewDeriv(p *protocol.Protocol) *Deriv {
+	d := &Deriv{n: p.NumStates()}
+	for _, ch := range sched.ReactiveChannels(p) {
+		c := channel{q: ch.T.Q, r: ch.T.R, inv: 1 / float64(ch.Candidates)}
+		add := func(s int, v float64) {
+			for i := 0; i < c.nd; i++ {
+				if c.states[i] == s {
+					c.deltas[i] += v
+					return
+				}
+			}
+			c.states[c.nd] = s
+			c.deltas[c.nd] = v
+			c.nd++
+		}
+		add(ch.T.Q, -1)
+		add(ch.T.R, -1)
+		add(ch.T.Q2, 1)
+		add(ch.T.R2, 1)
+		// Drop zero entries (a state both consumed and produced).
+		w := 0
+		for i := 0; i < c.nd; i++ {
+			if c.deltas[i] != 0 {
+				c.states[w] = c.states[i]
+				c.deltas[w] = c.deltas[i]
+				w++
+			}
+		}
+		c.nd = w
+		d.chans = append(d.chans, c)
+	}
+	return d
+}
+
+// NumStates returns the dimension of the fraction vector.
+func (d *Deriv) NumStates() int { return d.n }
+
+// NumChannels returns the number of compiled reaction channels.
+func (d *Deriv) NumChannels() int { return len(d.chans) }
+
+// Eval writes the drift at fractions x into out (len d.NumStates()) and
+// returns the total channel rate Σ_t a_t(x) — the expected fraction of
+// effective interactions per scheduling decision, used by the integrators to
+// estimate effective-step counts. Negative fractions (transient integrator
+// excursions) contribute zero rate, so the drift can never amplify them.
+func (d *Deriv) Eval(x, out []float64) (total float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for ci := range d.chans {
+		c := &d.chans[ci]
+		a := x[c.q] * x[c.r] * c.inv
+		if a <= 0 || x[c.q] <= 0 || x[c.r] <= 0 {
+			continue
+		}
+		total += a
+		for i := 0; i < c.nd; i++ {
+			out[c.states[i]] += a * c.deltas[i]
+		}
+	}
+	return total
+}
+
+// Rates writes the per-channel rates a_t(x) into a (len d.NumChannels())
+// and returns their sum. Used by the Langevin tier, which needs the
+// individual rates for the per-channel noise amplitudes √a_t.
+func (d *Deriv) Rates(x, a []float64) (total float64) {
+	for ci := range d.chans {
+		c := &d.chans[ci]
+		r := x[c.q] * x[c.r] * c.inv
+		if r <= 0 || x[c.q] <= 0 || x[c.r] <= 0 {
+			r = 0
+		}
+		a[ci] = r
+		total += r
+	}
+	return total
+}
+
+// applyScaled adds scale·Δ_t(s) for channel ci to out — one channel's delta
+// contribution, used by the Langevin tier's noise term.
+func (d *Deriv) applyScaled(ci int, scale float64, out []float64) {
+	c := &d.chans[ci]
+	for i := 0; i < c.nd; i++ {
+		out[c.states[i]] += scale * c.deltas[i]
+	}
+}

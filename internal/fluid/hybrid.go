@@ -1,0 +1,155 @@
+package fluid
+
+import (
+	"math/rand"
+
+	"repro/internal/multiset"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/sched"
+)
+
+// DefaultFloor is the default regime switch-over bound: the hybrid runs the
+// fluid tier only while every consumed species with a non-zero count holds
+// at least this many agents. At 2¹⁴ agents the relative fluctuation scale
+// 1/√count is under 1%, where the deterministic drift dominates; below it
+// the discrete collision kernel (which itself falls back to the exact
+// per-step law near depletion) takes over.
+const DefaultFloor = 1 << 14
+
+// hybridDiscreteChunk is the StepN slice handed to the collision kernel per
+// discrete round of the hybrid, matching simulate's default kernel batch.
+const hybridDiscreteChunk = 1 << 16
+
+// Hybrid is the full simulation ladder behind one scheduler: mean-field
+// fluid flow while every consumed species is macroscopic, the tau-leaping
+// collision kernel (with its own exact-path fallback) through boundary
+// layers where some count is small. It extends the kernel's auto/fallback
+// pattern one rung up: the same configuration may climb and descend tiers
+// many times in one run (an epidemic seeds discretely, burns through its
+// bulk as fluid, and resolves its last susceptibles discretely again).
+//
+// When the kernel's integral bulk arithmetic is unavailable for the
+// population (Λ·m·(m+1) overflows int64, roughly m > 3·10⁹) the discrete
+// tier cannot make useful progress, so the hybrid stays fluid regardless of
+// per-species counts — the only regime that reaches m = 10¹²⁺.
+//
+// Every chunk is routed per the configuration's current counts, and each
+// fluid↔discrete hand-off is counted in the scheduler telemetry
+// (RegimeSwitches, FluidChunks, DiscreteChunks).
+type Hybrid struct {
+	kernel *sched.CollisionKernel
+	integ  *Integrator
+	floor  int64
+
+	// tracked lists the states whose counts gate the fluid regime: those
+	// consumed by some reactive channel. Product-only and inert states
+	// never enter a rate, so their counts are irrelevant to tier validity.
+	tracked []int
+
+	haveRegime bool
+	fluid      bool
+
+	met *obs.SchedMetrics
+}
+
+var _ sched.BatchScheduler = (*Hybrid)(nil)
+
+// NewHybrid builds the regime-switching ladder scheduler for p. rng drives
+// the discrete tier; the fluid tier is deterministic.
+func NewHybrid(p *protocol.Protocol, rng *rand.Rand) *Hybrid {
+	h := &Hybrid{
+		kernel: sched.NewCollisionKernel(p, rng),
+		integ:  NewIntegrator(p),
+		floor:  DefaultFloor,
+		met:    obs.Sched(),
+	}
+	seen := make(map[int]bool)
+	for _, ch := range sched.ReactiveChannels(p) {
+		for _, s := range [2]int{ch.T.Q, ch.T.R} {
+			if !seen[s] {
+				seen[s] = true
+				h.tracked = append(h.tracked, s)
+			}
+		}
+	}
+	return h
+}
+
+// SetFluidFloor overrides the regime switch-over bound (agents per consumed
+// species required for the fluid tier). Values ≤ 0 keep the default.
+func (h *Hybrid) SetFluidFloor(floor int64) {
+	if floor > 0 {
+		h.floor = floor
+	}
+}
+
+// PreferredChunk forwards the fluid tier's preferred StepN chunk, so
+// simulate.Run sizes batches to the population when none is requested.
+func (h *Hybrid) PreferredChunk(m int64) int64 { return h.integ.PreferredChunk(m) }
+
+// Step implements sched.Scheduler through the discrete tier: a single
+// interaction is exactly the per-step law, whatever the counts.
+func (h *Hybrid) Step(c *multiset.Multiset) bool { return h.kernel.Step(c) }
+
+// StepN implements sched.BatchScheduler, routing slices of the batch to the
+// tier the current counts call for.
+func (h *Hybrid) StepN(c *multiset.Multiset, n int64) int64 {
+	m := c.Size()
+	bulkOK := h.kernel.BulkAvailable(m)
+	var taken, effective int64
+	for taken < n {
+		useFluid := !bulkOK || h.fluidEligible(c)
+		h.noteRegime(useFluid)
+		if useFluid {
+			floor := h.floor
+			if !bulkOK {
+				floor = 0 // no discrete tier to hand over to; never stop
+			}
+			adv, eff := h.integ.Advance(c, n-taken, floor)
+			if h.met != nil {
+				h.met.FluidChunks.Inc()
+			}
+			if adv > 0 {
+				taken += adv
+				effective += eff
+				continue
+			}
+		}
+		chunk := n - taken
+		if chunk > hybridDiscreteChunk {
+			chunk = hybridDiscreteChunk
+		}
+		effective += h.kernel.StepN(c, chunk)
+		taken += chunk
+		if h.met != nil {
+			h.met.DiscreteChunks.Inc()
+		}
+	}
+	return effective
+}
+
+// fluidEligible reports whether every tracked (consumed) species is either
+// absent or macroscopic: no non-zero count below the floor.
+func (h *Hybrid) fluidEligible(c *multiset.Multiset) bool {
+	for _, s := range h.tracked {
+		if cnt := c.Count(s); cnt > 0 && cnt < h.floor {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *Hybrid) noteRegime(fluid bool) {
+	if h.haveRegime && fluid != h.fluid && h.met != nil {
+		h.met.RegimeSwitches.Inc()
+	}
+	h.haveRegime = true
+	h.fluid = fluid
+}
+
+// Kernel exposes the discrete tier (for tests pinning tier structure).
+func (h *Hybrid) Kernel() *sched.CollisionKernel { return h.kernel }
+
+// Integrator exposes the fluid tier (for tests pinning tier structure).
+func (h *Hybrid) Integrator() *Integrator { return h.integ }

@@ -46,6 +46,20 @@ type SchedMetrics struct {
 	// decisions elapsed since that edge was last selected — the empirical
 	// fairness profile of a schedule.
 	StarvationGap Hist
+	// FluidChunks / DiscreteChunks count StepN chunks that the hybrid
+	// ladder scheduler routed to the fluid integrator vs the discrete
+	// collision kernel.
+	FluidChunks    Counter
+	DiscreteChunks Counter
+	// RegimeSwitches counts hybrid regime transitions (fluid↔discrete):
+	// each time consecutive chunks were handled by different tiers.
+	RegimeSwitches Counter
+	// FluidRKSteps / FluidRKRejects count accepted and error-rejected RK45
+	// steps of the mean-field integrator; LangevinSteps counts fixed-size
+	// Euler–Maruyama steps of the diffusion tier.
+	FluidRKSteps   Counter
+	FluidRKRejects Counter
+	LangevinSteps  Counter
 }
 
 // SimMetrics instruments internal/simulate's runner and measurement pool.

@@ -36,6 +36,12 @@ type SchedSnap struct {
 	Revives            int64    `json:"revives"`
 	Joins              int64    `json:"joins"`
 	StarvationGap      HistSnap `json:"starvation_gap"`
+	FluidChunks        int64    `json:"fluid_chunks"`
+	DiscreteChunks     int64    `json:"discrete_chunks"`
+	RegimeSwitches     int64    `json:"regime_switches"`
+	FluidRKSteps       int64    `json:"fluid_rk_steps"`
+	FluidRKRejects     int64    `json:"fluid_rk_rejects"`
+	LangevinSteps      int64    `json:"langevin_steps"`
 }
 
 // SimSnap is the frozen simulation group.
@@ -95,6 +101,12 @@ func (m *Metrics) Snapshot() Snap {
 		Revives:            m.sched.Revives.Load(),
 		Joins:              m.sched.Joins.Load(),
 		StarvationGap:      m.sched.StarvationGap.snapshot(),
+		FluidChunks:        m.sched.FluidChunks.Load(),
+		DiscreteChunks:     m.sched.DiscreteChunks.Load(),
+		RegimeSwitches:     m.sched.RegimeSwitches.Load(),
+		FluidRKSteps:       m.sched.FluidRKSteps.Load(),
+		FluidRKRejects:     m.sched.FluidRKRejects.Load(),
+		LangevinSteps:      m.sched.LangevinSteps.Load(),
 	}
 	s.Sim = SimSnap{
 		RunsStarted:  m.sim.RunsStarted.Load(),

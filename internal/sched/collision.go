@@ -126,9 +126,13 @@ func newCollisionKernel(p *protocol.Protocol, rng source) *CollisionKernel {
 		noBulk:        inner.noSkip,
 		met:           obs.Sched(),
 	}
-	for _, rk := range inner.reactive {
-		for _, t := range rk.fire {
-			k.cats = append(k.cats, bulkCat{t: t, perT: rk.perT})
+	if !k.noBulk {
+		// Identical flattening (and order) to ReactiveChannels: the shared
+		// channel law is what keeps this kernel, the exact sampler and the
+		// fluid drift mutually consistent. perT = Λ/#candidates is integral
+		// by construction of Λ.
+		for _, ch := range ReactiveChannels(p) {
+			k.cats = append(k.cats, bulkCat{t: ch.T, perT: inner.lambda / int64(ch.Candidates)})
 		}
 	}
 	k.weights = make([]int64, len(k.cats))
@@ -193,11 +197,15 @@ func (k *CollisionKernel) StepN(c *multiset.Multiset, n int64) int64 {
 // dead = true when no category has positive weight — the configuration can
 // never change again under random pairing.
 func (k *CollisionKernel) roundSize(c *multiset.Multiset, m, remaining int64) (B, totalW int64, dead bool) {
-	if k.noBulk || len(k.cats) == 0 || k.inner.lambda > math.MaxInt64/m/(m+1) {
+	if k.noBulk {
 		// Bulk weights unavailable; the exact path decides liveness itself.
-		if len(k.cats) == 0 {
-			return 0, 0, true
-		}
+		return 0, 0, false
+	}
+	if len(k.cats) == 0 {
+		// No non-silent transition exists at all: every interaction is null.
+		return 0, 0, true
+	}
+	if k.inner.lambda > math.MaxInt64/m/(m+1) {
 		return 0, 0, false
 	}
 	minCount := int64(math.MaxInt64)

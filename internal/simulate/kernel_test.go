@@ -3,11 +3,15 @@ package simulate
 import (
 	"testing"
 
+	"repro/internal/fluid"
 	"repro/internal/sched"
+	"repro/internal/simulate/stattest"
 )
 
 // TestNewKernelSchedulerSelection pins the kernel-name → scheduler mapping,
-// including auto's population threshold.
+// including both sides of each of auto's population thresholds
+// (exact ↔ tau-leap at AutoKernelThreshold, tau-leap ↔ hybrid ladder at
+// AutoFluidThreshold).
 func TestNewKernelSchedulerSelection(t *testing.T) {
 	p := epidemic(t)
 	rng := sched.NewRand(1)
@@ -21,15 +25,38 @@ func TestNewKernelSchedulerSelection(t *testing.T) {
 	} else if _, ok := s.(*sched.CollisionKernel); !ok {
 		t.Fatalf("batch kernel built %T", s)
 	}
-	if s, err := NewKernelScheduler(p, rng, KernelAuto, AutoKernelThreshold-1); err != nil {
+	if s, err := NewKernelScheduler(p, rng, KernelFluid, 10); err != nil {
 		t.Fatal(err)
-	} else if _, ok := s.(*sched.BatchRandomPair); !ok {
-		t.Fatalf("auto below threshold built %T", s)
+	} else if _, ok := s.(*fluid.Integrator); !ok {
+		t.Fatalf("fluid kernel built %T", s)
 	}
-	if s, err := NewKernelScheduler(p, rng, KernelAuto, AutoKernelThreshold); err != nil {
+	if s, err := NewKernelScheduler(p, rng, KernelLangevin, 10); err != nil {
 		t.Fatal(err)
-	} else if _, ok := s.(*sched.CollisionKernel); !ok {
-		t.Fatalf("auto at threshold built %T", s)
+	} else if _, ok := s.(*fluid.Integrator); !ok {
+		t.Fatalf("langevin kernel built %T", s)
+	}
+	for population, want := range map[int64]string{
+		AutoKernelThreshold - 1: "*sched.BatchRandomPair",
+		AutoKernelThreshold:     "*sched.CollisionKernel",
+		AutoFluidThreshold - 1:  "*sched.CollisionKernel",
+		AutoFluidThreshold:      "*fluid.Hybrid",
+	} {
+		s, err := NewKernelScheduler(p, rng, KernelAuto, population)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ok bool
+		switch want {
+		case "*sched.BatchRandomPair":
+			_, ok = s.(*sched.BatchRandomPair)
+		case "*sched.CollisionKernel":
+			_, ok = s.(*sched.CollisionKernel)
+		case "*fluid.Hybrid":
+			_, ok = s.(*fluid.Hybrid)
+		}
+		if !ok {
+			t.Fatalf("auto at m = %d built %T, want %s", population, s, want)
+		}
 	}
 	if _, err := NewKernelScheduler(p, rng, "turbo", 10); err == nil {
 		t.Fatal("bogus kernel name accepted")
@@ -117,8 +144,8 @@ func TestKernelConvergenceDistributionsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := KSStatistic(exact, batch)
-	crit := KSCriticalValue(len(exact), len(batch))
+	d := stattest.KSStatistic(exact, batch)
+	crit := stattest.KSCriticalValue(0.001, len(exact), len(batch))
 	if d > crit {
 		t.Fatalf("KS statistic %.4f exceeds critical value %.4f (α ≈ 0.001)\nexact %v\nbatch %v",
 			d, crit, Summarise(exact), Summarise(batch))

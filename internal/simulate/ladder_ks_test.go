@@ -1,0 +1,70 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/simulate/stattest"
+)
+
+// TestLadderKSAdjacentTiers is the cross-tier statistical differential suite
+// of the simulation ladder: the distribution of convergence step counts must
+// agree, under a two-sample Kolmogorov–Smirnov test at α = 0.05, between
+// each pair of adjacent tiers at populations where both can run.
+//
+//   - tau-leap (collision kernel) vs the hybrid ladder: the epidemic seeded
+//     from one infected agent crosses the discrete→fluid→discrete regime
+//     boundaries, so the comparison exercises the fluid tier's interior flow
+//     *and* both hand-offs. The convergence time's randomness lives in the
+//     boundary layers, which the hybrid resolves with the same discrete
+//     machinery — the deterministic interior must not shift the distribution.
+//   - tau-leap vs Langevin: from a macroscopic start both tiers carry the
+//     same drift; the Langevin tier must reproduce the stochastic spread
+//     around it (1/√m chemical noise) well enough that absorption times are
+//     indistinguishable at this sample size.
+//
+// Both sides of each pair run at identical driver granularity (same
+// BatchSize, stabilisation window and quiescence checks), so only the tier
+// differs.
+func TestLadderKSAdjacentTiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs hundreds of convergence measurements at m = 10⁵⁺")
+	}
+	p := epidemic(t)
+	const runs = 70
+	const alpha = 0.05
+
+	pairTest := func(name string, m int64, start []int64, kernelA, kernelB string, seedB int64) {
+		t.Helper()
+		mk := func(kernel string) Options {
+			return Options{Kernel: kernel, BatchSize: 4096, Workers: 4, MaxSteps: 1 << 40}
+		}
+		a, err := MeasureConvergenceSamples(p, start, runs, 1, mk(kernelA))
+		if err != nil {
+			t.Fatalf("%s/%s: %v", name, kernelA, err)
+		}
+		b, err := MeasureConvergenceSamples(p, start, runs, seedB, mk(kernelB))
+		if err != nil {
+			t.Fatalf("%s/%s: %v", name, kernelB, err)
+		}
+		d := stattest.KSStatistic(a, b)
+		crit := stattest.KSCriticalValue(alpha, len(a), len(b))
+		if d > crit {
+			t.Errorf("%s: KS D = %.4f exceeds critical %.4f (α = %.2f)\n%s %v\n%s %v",
+				name, d, crit, alpha, kernelA, Summarise(a), kernelB, Summarise(b))
+			return
+		}
+		t.Logf("%s: KS D = %.4f (critical %.4f); %s %v, %s %v",
+			name, d, crit, kernelA, Summarise(a), kernelB, Summarise(b))
+	}
+
+	// Tau-leap vs hybrid ladder across the boundary-crossing epidemic.
+	pairTest("batch-vs-ladder/m=1e5", 100_000, []int64{1, 100_000 - 1},
+		KernelBatch, KernelAuto, 500_000)
+	pairTest("batch-vs-ladder/m=1e7", 10_000_000, []int64{1, 10_000_000 - 1},
+		KernelBatch, KernelAuto, 500_000)
+
+	// Tau-leap vs Langevin from a macroscopic start (10% infected), where
+	// the diffusion approximation is in its domain from the first step.
+	pairTest("batch-vs-langevin/m=1e5", 100_000, []int64{10_000, 90_000},
+		KernelBatch, KernelLangevin, 500_000)
+}

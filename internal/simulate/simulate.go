@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fluid"
 	"repro/internal/multiset"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -38,15 +39,33 @@ const (
 	// interactions against frozen counts, falling back to the exact path
 	// near small counts.
 	KernelBatch = "batch"
-	// KernelAuto picks KernelBatch for populations of at least
-	// AutoKernelThreshold agents and KernelExact below it.
+	// KernelFluid drives the deterministic mean-field ODE tier
+	// (fluid.Integrator): adaptive RK45 on the protocol's polynomial drift
+	// over normalized count fractions.
+	KernelFluid = "fluid"
+	// KernelLangevin drives the diffusion tier: the mean-field drift plus
+	// the chemical Langevin 1/√m noise term, integrated by seeded
+	// fixed-step Euler–Maruyama.
+	KernelLangevin = "langevin"
+	// KernelAuto climbs the whole ladder by population size: KernelExact
+	// below AutoKernelThreshold, the collision kernel from there to
+	// AutoFluidThreshold, and the regime-switching hybrid (fluid.Hybrid —
+	// fluid flow while every consumed species is macroscopic, tau-leap
+	// through boundary layers) at or above it.
 	KernelAuto = "auto"
 )
 
 // AutoKernelThreshold is the population size at or above which KernelAuto
-// selects the collision kernel. Below it the kernel would spend essentially
+// leaves the exact sampler. Below it the kernel would spend essentially
 // all its time in the exact fallback anyway, so auto skips the indirection.
 const AutoKernelThreshold = 4096
+
+// AutoFluidThreshold is the population size at or above which KernelAuto
+// selects the regime-switching fluid hybrid. It deliberately sits well
+// below the hybrid's per-species floor: the hybrid itself only engages the
+// fluid tier once every consumed species clears fluid.DefaultFloor, so the
+// threshold just marks where fluid phases become worth having at all.
+const AutoFluidThreshold = 1 << 16
 
 // defaultKernelBatch is the StepN chunk size used when a kernel is selected
 // but BatchSize is left zero.
@@ -61,14 +80,31 @@ func NewKernelScheduler(p *protocol.Protocol, rng *rand.Rand, kernel string, pop
 		return sched.NewBatchRandomPair(p, rng), nil
 	case KernelBatch:
 		return sched.NewCollisionKernel(p, rng), nil
+	case KernelFluid:
+		return fluid.NewIntegrator(p), nil
+	case KernelLangevin:
+		return fluid.NewLangevin(p, rng), nil
 	case KernelAuto:
-		if populationSize >= AutoKernelThreshold {
+		switch {
+		case populationSize >= AutoFluidThreshold:
+			return fluid.NewHybrid(p, rng), nil
+		case populationSize >= AutoKernelThreshold:
 			return sched.NewCollisionKernel(p, rng), nil
+		default:
+			return sched.NewBatchRandomPair(p, rng), nil
 		}
-		return sched.NewBatchRandomPair(p, rng), nil
 	default:
-		return nil, fmt.Errorf("simulate: unknown kernel %q (want %q, %q or %q)",
-			kernel, KernelExact, KernelBatch, KernelAuto)
+		return nil, fmt.Errorf("simulate: unknown kernel %q (want %q, %q, %q, %q or %q)",
+			kernel, KernelExact, KernelBatch, KernelFluid, KernelLangevin, KernelAuto)
+	}
+}
+
+// ApplyFluidFloor applies a fluid regime switch-over bound to s when s is
+// the hybrid ladder scheduler (a no-op for every other scheduler, so
+// callers can apply Options.FluidFloor unconditionally).
+func ApplyFluidFloor(s sched.Scheduler, floor int64) {
+	if h, ok := s.(*fluid.Hybrid); ok {
+		h.SetFluidFloor(floor)
 	}
 }
 
@@ -106,6 +142,12 @@ type Options struct {
 	// legacy behaviour: BatchSize alone selects between RandomPair and
 	// BatchRandomPair.
 	Kernel string
+	// FluidFloor overrides the hybrid ladder's regime switch-over bound:
+	// the per-species agent count every consumed species must hold before
+	// the auto kernel's hybrid runs the fluid tier. Zero keeps
+	// fluid.DefaultFloor; the knob only affects the auto kernel at fluid
+	// scale (other kernels ignore it).
+	FluidFloor int64
 	// Workers parallelises MeasureConvergence and
 	// MeasureConvergenceSamples across runs. Each run already draws its
 	// PRNG independently from seed+i, and per-run results are aggregated
@@ -213,6 +255,9 @@ func Run(p *protocol.Protocol, c *multiset.Multiset, s sched.Scheduler, opts Opt
 	if met != nil {
 		met.RunsStarted.Inc()
 	}
+	if opts.FluidFloor > 0 {
+		ApplyFluidFloor(s, opts.FluidFloor)
+	}
 	var res *Result
 	var err error
 	if bs, ok := s.(sched.BatchScheduler); ok && opts.batchSize() > 0 {
@@ -312,6 +357,21 @@ func runBatched(p *protocol.Protocol, c *multiset.Multiset, s sched.BatchSchedul
 	window := opts.stableWindow()
 	period := opts.quiescencePeriod()
 	batch := opts.batchSize()
+	// A scheduler can ask for population-scaled chunks (the fluid tiers
+	// want ~m/16 interactions — 1/16 of a parallel-time unit — per chunk;
+	// the default 2¹⁶ would mean ~2·10⁸ chunks at m = 10¹²). An explicit
+	// BatchSize always wins, and the default quiescence period scales with
+	// the chunk so period boundaries don't truncate it back down.
+	if opts.BatchSize <= 0 {
+		if pc, ok := s.(interface{ PreferredChunk(int64) int64 }); ok {
+			if b := pc.PreferredChunk(c.Size()); b > batch {
+				batch = b
+				if opts.QuiescencePeriod <= 0 {
+					period = batch
+				}
+			}
+		}
+	}
 
 	res := &Result{Final: c}
 	lastOutput := p.OutputOf(c)
@@ -416,6 +476,9 @@ func convergenceRun(p *protocol.Protocol, inputCounts []int64, i int, seed int64
 		ks, err := NewKernelScheduler(p, rng, opts.Kernel, m)
 		if err != nil {
 			return nil, err
+		}
+		if opts.FluidFloor > 0 {
+			ApplyFluidFloor(ks, opts.FluidFloor)
 		}
 		s = ks
 	} else if opts.BatchSize > 0 {

@@ -22,7 +22,7 @@ func epidemic(t testing.TB) *protocol.Protocol {
 	return p
 }
 
-func majority(t *testing.T) *protocol.Protocol {
+func majority(t testing.TB) *protocol.Protocol {
 	t.Helper()
 	b := protocol.NewBuilder("majority")
 	b.Input("X", "Y")

@@ -56,39 +56,5 @@ func (s Summary) String() string {
 	return fmt.Sprintf("%.1f ± %.1f [%.1f..%.1f] (n=%d)", s.Mean, s.CI95, s.Min, s.Max, s.N)
 }
 
-// KSStatistic computes the two-sample Kolmogorov–Smirnov statistic
-// D = sup |F_a(x) − F_b(x)| over the empirical CDFs of the two samples.
-// Both samples must be non-empty; the inputs are not modified.
-func KSStatistic(a, b []float64) float64 {
-	as := append([]float64(nil), a...)
-	bs := append([]float64(nil), b...)
-	sort.Float64s(as)
-	sort.Float64s(bs)
-	var d float64
-	i, j := 0, 0
-	for i < len(as) && j < len(bs) {
-		// Advance past ties as a block so the CDF gap is evaluated only at
-		// points where both empirical CDFs have absorbed the tied value.
-		x := math.Min(as[i], bs[j])
-		for i < len(as) && as[i] == x {
-			i++
-		}
-		for j < len(bs) && bs[j] == x {
-			j++
-		}
-		gap := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
-		if gap > d {
-			d = gap
-		}
-	}
-	return d
-}
-
-// KSCriticalValue returns the large-sample critical value of the two-sample
-// KS statistic at significance level α ≈ 0.001:
-// c(α)·sqrt((n1+n2)/(n1·n2)) with c(0.001) ≈ 1.949. A test rejects equality
-// of the two distributions when KSStatistic exceeds this value.
-func KSCriticalValue(n1, n2 int) float64 {
-	const c = 1.949 // sqrt(-ln(0.001/2)/2)
-	return c * math.Sqrt(float64(n1+n2)/(float64(n1)*float64(n2)))
-}
+// The two-sample Kolmogorov–Smirnov helpers the differential suites share
+// live in internal/simulate/stattest (KSStatistic, KSCriticalValue).

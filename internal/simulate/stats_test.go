@@ -91,38 +91,4 @@ func TestMeasureConvergenceSamples(t *testing.T) {
 	}
 }
 
-func TestKSStatisticKnownValues(t *testing.T) {
-	// Identical samples: D = 0.
-	if d := KSStatistic([]float64{1, 2, 3}, []float64{1, 2, 3}); d != 0 {
-		t.Fatalf("identical samples: D = %v, want 0", d)
-	}
-	// Disjoint supports: D = 1.
-	if d := KSStatistic([]float64{1, 2}, []float64{10, 11}); d != 1 {
-		t.Fatalf("disjoint samples: D = %v, want 1", d)
-	}
-	// {1,2,3,4} vs {3,4,5,6}: the CDF gap peaks at x = 2 (2/4 vs 0/4).
-	if d := KSStatistic([]float64{1, 2, 3, 4}, []float64{3, 4, 5, 6}); d != 0.5 {
-		t.Fatalf("shifted samples: D = %v, want 0.5", d)
-	}
-	// Symmetric in its arguments and non-mutating.
-	a := []float64{3, 1, 2}
-	b := []float64{2, 4}
-	if KSStatistic(a, b) != KSStatistic(b, a) {
-		t.Fatal("KSStatistic is not symmetric")
-	}
-	if a[0] != 3 || b[0] != 2 {
-		t.Fatal("KSStatistic mutated its inputs")
-	}
-}
-
-func TestKSCriticalValue(t *testing.T) {
-	// n1 = n2 = 70: 1.949·sqrt(140/4900) ≈ 0.3294.
-	got := KSCriticalValue(70, 70)
-	if math.Abs(got-0.3294) > 5e-4 {
-		t.Fatalf("KSCriticalValue(70, 70) = %v", got)
-	}
-	// More samples shrink the critical gap.
-	if KSCriticalValue(1000, 1000) >= got {
-		t.Fatal("critical value did not shrink with sample size")
-	}
-}
+// The KS helper tests moved with the helpers to internal/simulate/stattest.

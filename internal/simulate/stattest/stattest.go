@@ -1,0 +1,52 @@
+// Package stattest holds the statistical test-support helpers shared by the
+// simulation differential suites: the kernel-equivalence tests of
+// internal/simulate (exact vs tau-leap, PR 5) and the cross-tier ladder
+// suite (tau-leap vs fluid/Langevin) use one implementation of the
+// two-sample Kolmogorov–Smirnov machinery instead of copy-pasting critical
+// values.
+package stattest
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic computes the two-sample Kolmogorov–Smirnov statistic
+// D = sup |F_a(x) − F_b(x)| over the empirical CDFs of the two samples.
+// Both samples must be non-empty; the inputs are not modified.
+func KSStatistic(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		// Advance past ties as a block so the CDF gap is evaluated only at
+		// points where both empirical CDFs have absorbed the tied value.
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if gap > d {
+			d = gap
+		}
+	}
+	return d
+}
+
+// KSCriticalValue returns the large-sample critical value of the two-sample
+// KS statistic at significance level alpha:
+//
+//	c(α)·sqrt((n1+n2)/(n1·n2)),   c(α) = sqrt(−ln(α/2)/2)
+//
+// A test rejects equality of the two distributions when KSStatistic exceeds
+// this value. c(0.05) ≈ 1.358, c(0.001) ≈ 1.949.
+func KSCriticalValue(alpha float64, n1, n2 int) float64 {
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n1+n2)/(float64(n1)*float64(n2)))
+}

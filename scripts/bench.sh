@@ -2,8 +2,10 @@
 # bench.sh — run the simulation benchmark suite and emit BENCH_simulate.json.
 #
 # Covers the scheduler-level StepN benchmarks (exact vs collision kernel),
-# the end-to-end RunKernels convergence benchmark, and the root
-# BatchStepN / MeasureConvergence benchmarks. Each JSON record carries the
+# the end-to-end RunKernels convergence benchmark, the root
+# BatchStepN / MeasureConvergence benchmarks, and the fluid-tier benchmarks
+# (FluidStepN chunk cost, LadderConvergence end-to-end at m = 10⁹/10¹²).
+# Each JSON record carries the
 # benchmark name, iteration count and every (value, unit) metric pair Go
 # reported — ns/op, ns/interaction, interactions/s, B/op, allocs/op, ...
 #
@@ -19,9 +21,9 @@ benchtime="${BENCHTIME:-1s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'StepN|MeasureConvergence|RunKernels' \
+go test -run '^$' -bench 'StepN|MeasureConvergence|RunKernels|Ladder' \
   -benchmem -benchtime "$benchtime" \
-  ./internal/sched ./internal/simulate . | tee "$raw"
+  ./internal/sched ./internal/simulate ./internal/fluid . | tee "$raw"
 
 awk -v go_version="$(go version)" -v date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^Benchmark/ {
