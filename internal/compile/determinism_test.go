@@ -1,0 +1,59 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/popprog"
+)
+
+// TestCompileDeterministic pins the property the compiled-protocol cache
+// depends on: compiling the same program twice — including through a
+// source round-trip — yields machines with identical canonical hashes.
+// Together with the convert determinism test this certifies that the
+// program-level CanonicalHash is a sound content-addressed key for the
+// whole §7 compile→convert pipeline.
+func TestCompileDeterministic(t *testing.T) {
+	prog := popprog.Figure1Program()
+	m1, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.CanonicalHash() != m2.CanonicalHash() {
+		t.Fatal("compiling the same program twice produced different machines")
+	}
+
+	// Round-trip through the canonical source: the re-parsed program must
+	// carry the same hash. Its register/procedure names are the mangled
+	// identifiers, so the machine it compiles to can differ from m1 in
+	// names only — which is why the cache always compiles the *canonical*
+	// re-rendering of a submission, never the submitted AST directly.
+	rt, err := popprog.Parse(prog.WriteSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.CanonicalHash() != prog.CanonicalHash() {
+		t.Fatal("source round-trip changed the program hash")
+	}
+	// Canonicalisation is idempotent, so compiling the canonical form is a
+	// pure function of the hash: one more round-trip must reproduce the
+	// machine exactly.
+	rt2, err := popprog.Parse(rt.WriteSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := Compile(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile(rt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.CanonicalHash() != c2.CanonicalHash() {
+		t.Fatal("compiling the canonical form is not idempotent")
+	}
+}

@@ -1,0 +1,39 @@
+package convert
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/popprog"
+)
+
+// TestConvertDeterministic pins that the §7.3 machine→protocol conversion is
+// a pure function of the machine: converting the same compiled machine twice
+// yields protocols with identical fingerprints (state order, transition
+// order, input and accepting sets all equal). This is the other half of the
+// compiled-protocol cache's soundness argument: a cache hit returns exactly
+// the protocol a fresh conversion would have built.
+func TestConvertDeterministic(t *testing.T) {
+	m, err := compile.Compile(popprog.Figure1Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Convert(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Convert(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Protocol.Fingerprint() != r2.Protocol.Fingerprint() {
+		t.Fatal("converting the same machine twice produced different protocols")
+	}
+	if r1.Core.Fingerprint() != r2.Core.Fingerprint() {
+		t.Fatal("converting the same machine twice produced different core protocols")
+	}
+	if r1.NumPointers != r2.NumPointers || r1.CoreStates != r2.CoreStates {
+		t.Fatalf("accounting differs: (%d,%d) vs (%d,%d)",
+			r1.NumPointers, r1.CoreStates, r2.NumPointers, r2.CoreStates)
+	}
+}

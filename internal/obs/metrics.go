@@ -78,6 +78,42 @@ type SimMetrics struct {
 	// pool's utilisation balance. Slot 0 is the sequential path.
 	WorkerRuns  Vec
 	WorkerNanos Vec
+	// CheckpointsWritten counts atomic sweep-checkpoint files written by
+	// the resumable sweep runner.
+	CheckpointsWritten Counter
+	// SweepPointsResumed counts sweep points restored from a checkpoint
+	// instead of being recomputed.
+	SweepPointsResumed Counter
+}
+
+// ServeMetrics instruments internal/serve's job queue and protocol cache.
+type ServeMetrics struct {
+	// JobsSubmitted / JobsCompleted / JobsFailed / JobsCancelled count job
+	// lifecycle transitions; JobsRejected counts submissions bounced with
+	// 429 because the queue was full.
+	JobsSubmitted Counter
+	JobsCompleted Counter
+	JobsFailed    Counter
+	JobsCancelled Counter
+	JobsRejected  Counter
+	// QueueDepth is the number of jobs waiting in the bounded queue at the
+	// last enqueue/dequeue.
+	QueueDepth Gauge
+	// CacheHits / CacheMisses count compiled-protocol cache lookups by
+	// outcome; CacheEvictions counts LRU evictions.
+	CacheHits      Counter
+	CacheMisses    Counter
+	CacheEvictions Counter
+	// Conversions counts §7 compile→convert pipeline executions (cache
+	// misses that actually paid for a conversion); ConvertNanos accumulates
+	// the wall time they took. A warm cache keeps both flat.
+	Conversions  Counter
+	ConvertNanos Counter
+	// JobsResumed counts jobs re-enqueued by state-directory recovery after
+	// a restart.
+	JobsResumed Counter
+	// StreamClients counts per-job snapshot-stream connections served.
+	StreamClients Counter
 }
 
 // ExploreMetrics instruments internal/explore's engines and interner.
@@ -114,6 +150,7 @@ type Metrics struct {
 	sched   SchedMetrics
 	sim     SimMetrics
 	explore ExploreMetrics
+	serve   ServeMetrics
 }
 
 // Sched returns the scheduler instrument group (nil when m is nil).
@@ -138,6 +175,14 @@ func (m *Metrics) Explore() *ExploreMetrics {
 		return nil
 	}
 	return &m.explore
+}
+
+// Serve returns the server instrument group (nil when m is nil).
+func (m *Metrics) Serve() *ServeMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.serve
 }
 
 // current is the process-wide metric set; nil means telemetry is disabled
@@ -175,3 +220,6 @@ func Sim() *SimMetrics { return Current().Sim() }
 // Explore returns the current exploration instrument group (nil when
 // disabled).
 func Explore() *ExploreMetrics { return Current().Explore() }
+
+// Serve returns the current server instrument group (nil when disabled).
+func Serve() *ServeMetrics { return Current().Serve() }

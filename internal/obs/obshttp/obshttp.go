@@ -17,18 +17,34 @@ import (
 
 var publishOnce sync.Once
 
-// Serve publishes the obs snapshot through expvar and serves the default
-// mux (pprof + expvar debug endpoints) on addr in a background goroutine.
-// It returns the bound address (useful with a ":0" port) once the listener
-// is up, so address errors surface immediately; serving errors after that
-// are dropped (the debug server is best-effort and dies with the process).
-func Serve(addr string) (string, error) {
+// Publish registers the current obs snapshot as the expvar variable "obs".
+// It is idempotent; Serve and any server embedding Handler call it.
+func Publish() {
 	publishOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(func() any {
 			s, _ := obs.Snapshot()
 			return s
 		}))
 	})
+}
+
+// Handler returns the debug handler tree (net/http/pprof under /debug/pprof/
+// and expvar — including "obs" — under /debug/vars), for embedding into a
+// server's own mux under the /debug/ prefix. The pprof and expvar packages
+// register themselves on http.DefaultServeMux at init, which is exactly the
+// tree returned here.
+func Handler() http.Handler {
+	Publish()
+	return http.DefaultServeMux
+}
+
+// Serve publishes the obs snapshot through expvar and serves the default
+// mux (pprof + expvar debug endpoints) on addr in a background goroutine.
+// It returns the bound address (useful with a ":0" port) once the listener
+// is up, so address errors surface immediately; serving errors after that
+// are dropped (the debug server is best-effort and dies with the process).
+func Serve(addr string) (string, error) {
+	Publish()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

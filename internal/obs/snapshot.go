@@ -46,12 +46,14 @@ type SchedSnap struct {
 
 // SimSnap is the frozen simulation group.
 type SimSnap struct {
-	RunsStarted  int64    `json:"runs_started"`
-	RunsFinished int64    `json:"runs_finished"`
-	Convergence  HistSnap `json:"convergence"`
-	Quiescent    int64    `json:"quiescent"`
-	WorkerRuns   []int64  `json:"worker_runs,omitempty"`
-	WorkerNanos  []int64  `json:"worker_nanos,omitempty"`
+	RunsStarted        int64    `json:"runs_started"`
+	RunsFinished       int64    `json:"runs_finished"`
+	Convergence        HistSnap `json:"convergence"`
+	Quiescent          int64    `json:"quiescent"`
+	WorkerRuns         []int64  `json:"worker_runs,omitempty"`
+	WorkerNanos        []int64  `json:"worker_nanos,omitempty"`
+	CheckpointsWritten int64    `json:"checkpoints_written"`
+	SweepPointsResumed int64    `json:"sweep_points_resumed"`
 }
 
 // ExploreSnap is the frozen exploration group. StatesPerSec is derived:
@@ -70,12 +72,30 @@ type ExploreSnap struct {
 	InternShard      []int64  `json:"intern_shard,omitempty"`
 }
 
+// ServeSnap is the frozen server group.
+type ServeSnap struct {
+	JobsSubmitted  int64 `json:"jobs_submitted"`
+	JobsCompleted  int64 `json:"jobs_completed"`
+	JobsFailed     int64 `json:"jobs_failed"`
+	JobsCancelled  int64 `json:"jobs_cancelled"`
+	JobsRejected   int64 `json:"jobs_rejected"`
+	QueueDepth     int64 `json:"queue_depth"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	Conversions    int64 `json:"conversions"`
+	ConvertNanos   int64 `json:"convert_nanos"`
+	JobsResumed    int64 `json:"jobs_resumed"`
+	StreamClients  int64 `json:"stream_clients"`
+}
+
 // Snap is a point-in-time copy of every instrument, as plain data. It is
 // what -metrics prints and what /debug/vars exposes.
 type Snap struct {
 	Sched   SchedSnap   `json:"sched"`
 	Sim     SimSnap     `json:"sim"`
 	Explore ExploreSnap `json:"explore"`
+	Serve   ServeSnap   `json:"serve"`
 }
 
 // Snapshot freezes m. Safe to call concurrently with live instrumentation;
@@ -109,12 +129,14 @@ func (m *Metrics) Snapshot() Snap {
 		LangevinSteps:      m.sched.LangevinSteps.Load(),
 	}
 	s.Sim = SimSnap{
-		RunsStarted:  m.sim.RunsStarted.Load(),
-		RunsFinished: m.sim.RunsFinished.Load(),
-		Convergence:  m.sim.Convergence.snapshot(),
-		Quiescent:    m.sim.Quiescent.Load(),
-		WorkerRuns:   m.sim.WorkerRuns.snapshot(),
-		WorkerNanos:  m.sim.WorkerNanos.snapshot(),
+		RunsStarted:        m.sim.RunsStarted.Load(),
+		RunsFinished:       m.sim.RunsFinished.Load(),
+		Convergence:        m.sim.Convergence.snapshot(),
+		Quiescent:          m.sim.Quiescent.Load(),
+		WorkerRuns:         m.sim.WorkerRuns.snapshot(),
+		WorkerNanos:        m.sim.WorkerNanos.snapshot(),
+		CheckpointsWritten: m.sim.CheckpointsWritten.Load(),
+		SweepPointsResumed: m.sim.SweepPointsResumed.Load(),
 	}
 	s.Explore = ExploreSnap{
 		Explorations:     m.explore.Explorations.Load(),
@@ -130,6 +152,21 @@ func (m *Metrics) Snapshot() Snap {
 	}
 	if s.Explore.Nanos > 0 {
 		s.Explore.StatesPerSec = float64(s.Explore.States) / (float64(s.Explore.Nanos) / 1e9)
+	}
+	s.Serve = ServeSnap{
+		JobsSubmitted:  m.serve.JobsSubmitted.Load(),
+		JobsCompleted:  m.serve.JobsCompleted.Load(),
+		JobsFailed:     m.serve.JobsFailed.Load(),
+		JobsCancelled:  m.serve.JobsCancelled.Load(),
+		JobsRejected:   m.serve.JobsRejected.Load(),
+		QueueDepth:     m.serve.QueueDepth.Load(),
+		CacheHits:      m.serve.CacheHits.Load(),
+		CacheMisses:    m.serve.CacheMisses.Load(),
+		CacheEvictions: m.serve.CacheEvictions.Load(),
+		Conversions:    m.serve.Conversions.Load(),
+		ConvertNanos:   m.serve.ConvertNanos.Load(),
+		JobsResumed:    m.serve.JobsResumed.Load(),
+		StreamClients:  m.serve.StreamClients.Load(),
 	}
 	return s
 }

@@ -1,0 +1,58 @@
+package popmachine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AppendCanonical appends a deterministic, semantics-complete encoding of
+// the machine to dst. Two machines produce the same encoding exactly when
+// they agree on registers, pointers (names, domains, initial values),
+// special-pointer wiring, and instruction sequence. Instruction comments are
+// excluded: they annotate listings and never affect execution or the §7.3
+// conversion. Assignment function tables are emitted in sorted key order so
+// the encoding is independent of map iteration.
+func (m *Machine) AppendCanonical(dst []byte) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine %s\n", m.Name)
+	fmt.Fprintf(&sb, "registers %s\n", strings.Join(m.Registers, ","))
+	for _, p := range m.Pointers {
+		fmt.Fprintf(&sb, "pointer %s domain %v initial %d\n", p.Name, p.Domain, p.Initial)
+	}
+	fmt.Fprintf(&sb, "special OF=%d CF=%d IP=%d VBox=%d VReg=%v\n",
+		m.OF, m.CF, m.IP, m.VBox, m.VReg)
+	for i, in := range m.Instrs {
+		switch it := in.(type) {
+		case MoveInstr:
+			fmt.Fprintf(&sb, "%d move %d %d\n", i+1, it.X, it.Y)
+		case DetectInstr:
+			fmt.Fprintf(&sb, "%d detect %d\n", i+1, it.X)
+		case AssignInstr:
+			keys := make([]int, 0, len(it.F))
+			for k := range it.F {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			fmt.Fprintf(&sb, "%d assign %d %d", i+1, it.X, it.Y)
+			for _, k := range keys {
+				fmt.Fprintf(&sb, " %d:%d", k, it.F[k])
+			}
+			sb.WriteString("\n")
+		default:
+			fmt.Fprintf(&sb, "%d unknown %T\n", i+1, in)
+		}
+	}
+	return append(dst, sb.String()...)
+}
+
+// CanonicalHash returns the SHA-256 of AppendCanonical: a content-addressed
+// identity for compiled machines. The compile determinism test pins that
+// compiling one program twice yields equal hashes, which is what makes the
+// program-level CanonicalHash a sound key for cached machines.
+func (m *Machine) CanonicalHash() string {
+	sum := sha256.Sum256(m.AppendCanonical(nil))
+	return hex.EncodeToString(sum[:])
+}

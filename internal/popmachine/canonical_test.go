@@ -1,0 +1,49 @@
+package popmachine
+
+import "testing"
+
+// buildCanonicalTestMachine assembles a tiny two-register machine through
+// the Builder, exercising all three instruction kinds.
+func buildCanonicalTestMachine(t *testing.T, comment string) *Machine {
+	t.Helper()
+	b := NewBuilder("canon-test", []string{"a", "b"})
+	m := b.Machine()
+	b.Emit(DetectInstr{X: 0})
+	b.Emit(MoveInstr{X: 0, Y: 1})
+	in := Jump(m, 1)
+	in.Comment = comment
+	b.Emit(in)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCanonicalHashIgnoresComments pins that instruction comments — pure
+// listing annotations — do not enter the canonical encoding, while the
+// executable parts do.
+func TestCanonicalHashIgnoresComments(t *testing.T) {
+	m1 := buildCanonicalTestMachine(t, "goto 1")
+	m2 := buildCanonicalTestMachine(t, "a different annotation")
+	if m1.CanonicalHash() != m2.CanonicalHash() {
+		t.Fatal("comment changed the canonical hash")
+	}
+}
+
+// TestCanonicalHashSeesInstructions pins that executable differences are
+// visible.
+func TestCanonicalHashSeesInstructions(t *testing.T) {
+	m1 := buildCanonicalTestMachine(t, "")
+
+	b := NewBuilder("canon-test", []string{"a", "b"})
+	m2 := b.Machine()
+	b.Emit(DetectInstr{X: 1}) // detect b instead of a
+	b.Emit(MoveInstr{X: 0, Y: 1})
+	b.Emit(Jump(m2, 1))
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if m1.CanonicalHash() == m2.CanonicalHash() {
+		t.Fatal("machines with different detect targets share a hash")
+	}
+}

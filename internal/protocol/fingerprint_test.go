@@ -1,0 +1,48 @@
+package protocol
+
+import "testing"
+
+func fingerprintTestProtocol(t *testing.T, name string, accept bool) *Protocol {
+	t.Helper()
+	b := NewBuilder(name)
+	b.Input("A", "B")
+	b.Transition("A", "B", "A", "A")
+	b.AcceptingIf("A", accept)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFingerprintIdentity pins that structurally identical protocols share a
+// fingerprint and any definitional difference — name, accepting set, extra
+// transition — separates them.
+func TestFingerprintIdentity(t *testing.T) {
+	p1 := fingerprintTestProtocol(t, "fp", true)
+	p2 := fingerprintTestProtocol(t, "fp", true)
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatal("identical protocols have different fingerprints")
+	}
+	if len(p1.Fingerprint()) != 64 {
+		t.Fatalf("fingerprint %q is not 64 hex chars", p1.Fingerprint())
+	}
+	if p1.Fingerprint() == fingerprintTestProtocol(t, "fp2", true).Fingerprint() {
+		t.Fatal("renamed protocol shares a fingerprint")
+	}
+	if p1.Fingerprint() == fingerprintTestProtocol(t, "fp", false).Fingerprint() {
+		t.Fatal("different accepting set shares a fingerprint")
+	}
+	b := NewBuilder("fp")
+	b.Input("A", "B")
+	b.Transition("A", "B", "A", "A")
+	b.Transition("B", "B", "A", "B")
+	b.AcceptingIf("A", true)
+	p3, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Fingerprint() == p3.Fingerprint() {
+		t.Fatal("extra transition shares a fingerprint")
+	}
+}

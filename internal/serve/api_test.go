@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer starts a Server with the given config behind an httptest
+// listener and tears both down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// waitTerminal polls a job until it leaves the live statuses.
+func waitTerminal(t *testing.T, baseURL, id string) *Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, data := getJSON(t, baseURL+"/api/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET job %s: %d %s", id, resp.StatusCode, data)
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			t.Fatalf("job %s: %v in %s", id, err, data)
+		}
+		if j.terminal() {
+			return &j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 60s", id, j.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAPIContract is the table-driven submission contract: well-formed jobs
+// are accepted with 202, everything malformed is rejected with 400 and a
+// JSON error document.
+func TestAPIContract(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: -1, QueueDepth: 100})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"simulate ok", `{"kind":"simulate","target":"majority","input":[6,4]}`, 202},
+		{"sweep ok", `{"kind":"sweep","target":"unary:3","inputs":[[5],[9]]}`, 202},
+		{"explore ok", `{"kind":"explore","target":"majority","input":[2,1]}`, 202},
+		{"program ok", `{"kind":"simulate","program":"program p\nregisters a\n\nproc Main {\n  of true\n}\n","input":[3]}`, 202},
+		{"bad JSON", `{"kind":`, 400},
+		{"empty body", ``, 400},
+		{"JSON scalar", `42`, 400},
+		{"trailing garbage", `{"kind":"simulate","target":"majority","input":[6,4]} trailing`, 400},
+		{"unknown field", `{"kind":"simulate","target":"majority","input":[6,4],"bogus":1}`, 400},
+		{"missing kind", `{"target":"majority","input":[6,4]}`, 400},
+		{"unknown kind", `{"kind":"dance","target":"majority","input":[6,4]}`, 400},
+		{"no target or program", `{"kind":"simulate","input":[6,4]}`, 400},
+		{"both target and program", `{"kind":"simulate","target":"majority","program":"x","input":[6,4]}`, 400},
+		{"unknown target", `{"kind":"simulate","target":"nonesuch","input":[6,4]}`, 400},
+		{"target needs param", `{"kind":"simulate","target":"unary","input":[6]}`, 400},
+		{"target rejects param", `{"kind":"simulate","target":"majority:3","input":[6,4]}`, 400},
+		{"bad target param", `{"kind":"simulate","target":"unary:x","input":[6]}`, 400},
+		{"unparsable program", `{"kind":"simulate","program":"not a program","input":[3]}`, 400},
+		{"simulate without input", `{"kind":"simulate","target":"majority"}`, 400},
+		{"simulate with inputs", `{"kind":"simulate","target":"majority","input":[6,4],"inputs":[[1]]}`, 400},
+		{"sweep without inputs", `{"kind":"sweep","target":"majority"}`, 400},
+		{"sweep with input", `{"kind":"sweep","target":"majority","input":[6,4],"inputs":[[6,4]]}`, 400},
+		{"empty input vector", `{"kind":"simulate","target":"majority","input":[]}`, 400},
+		{"negative count", `{"kind":"simulate","target":"majority","input":[-1,4]}`, 400},
+		{"all-zero counts", `{"kind":"simulate","target":"majority","input":[0,0]}`, 400},
+		{"negative runs", `{"kind":"simulate","target":"majority","input":[6,4],"runs":-1}`, 400},
+		{"negative workers", `{"kind":"simulate","target":"majority","input":[6,4],"workers":-2}`, 400},
+		{"negative max_steps", `{"kind":"simulate","target":"majority","input":[6,4],"max_steps":-5}`, 400},
+		{"unknown kernel", `{"kind":"simulate","target":"majority","input":[6,4],"kernel":"warp"}`, 400},
+		{"topology ok", `{"kind":"simulate","target":"majority","input":[6,4],"topology":"ring"}`, 202},
+		{"topology with policy ok", `{"kind":"simulate","target":"majority","input":[6,4],"topology":"ring","topo_policy":"roundrobin"}`, 202},
+		{"unknown topology", `{"kind":"simulate","target":"majority","input":[6,4],"topology":"dodecahedron"}`, 400},
+		{"topology excludes kernel", `{"kind":"simulate","target":"majority","input":[6,4],"topology":"ring","kernel":"auto"}`, 400},
+		{"policy without topology", `{"kind":"simulate","target":"majority","input":[6,4],"topo_policy":"random"}`, 400},
+		{"unknown policy", `{"kind":"simulate","target":"majority","input":[6,4],"topology":"ring","topo_policy":"chaos"}`, 400},
+		{"faults without topology", `{"kind":"simulate","target":"majority","input":[6,4],"crash":0.1}`, 400},
+		{"fault rate out of range", `{"kind":"simulate","target":"majority","input":[6,4],"topology":"ring","crash":1.5}`, 400},
+		{"checkpoint on simulate", `{"kind":"simulate","target":"majority","input":[6,4],"checkpoint":"x"}`, 400},
+		{"checkpoint path traversal", `{"kind":"sweep","target":"majority","inputs":[[6,4]],"checkpoint":"../evil"}`, 400},
+		{"checkpoint without state dir", `{"kind":"sweep","target":"majority","inputs":[[6,4]],"checkpoint":"ok-name"}`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJSON(t, ts.URL+"/api/v1/jobs", tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.want, data)
+			}
+			if tc.want == 202 {
+				var j Job
+				if err := json.Unmarshal(data, &j); err != nil || j.ID == "" || j.Status != StatusQueued {
+					t.Fatalf("bad accept document %s (err %v)", data, err)
+				}
+			} else {
+				var e errorDoc
+				if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+					t.Fatalf("bad error document %s (err %v)", data, err)
+				}
+			}
+		})
+	}
+}
+
+func TestAPIUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: -1})
+	for _, u := range []string{"/api/v1/jobs/nope", "/api/v1/jobs/nope/result"} {
+		resp, _ := getJSON(t, ts.URL+u)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %d, want 404", u, resp.StatusCode)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/api/v1/jobs/nope/cancel", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAPIQueueFull pins the back-pressure contract: with no workers and a
+// queue of depth 2, the third submission is rejected with 429.
+func TestAPIQueueFull(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: -1, QueueDepth: 2})
+	body := `{"kind":"simulate","target":"majority","input":[6,4]}`
+	for i := 0; i < 2; i++ {
+		resp, data := postJSON(t, ts.URL+"/api/v1/jobs", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
+		}
+	}
+	resp, data := postJSON(t, ts.URL+"/api/v1/jobs", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d %s, want 429", resp.StatusCode, data)
+	}
+	// Rejected jobs must not appear in the store.
+	resp, data = getJSON(t, ts.URL+"/api/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(data, &list); err != nil || len(list) != 2 {
+		t.Fatalf("list %s (err %v), want 2 jobs", data, err)
+	}
+}
+
+func TestAPIOversizedBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: -1})
+	big := fmt.Sprintf(`{"kind":"simulate","target":"majority","input":[6,4],"program":%q}`,
+		strings.Repeat("x", maxBodyBytes+1))
+	resp, _ := postJSON(t, ts.URL+"/api/v1/jobs", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestAPIJobLifecycle drives one simulate job from submission to result and
+// checks the 409-until-done rule on the result endpoint.
+func TestAPIJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: -1, QueueDepth: 4})
+	resp, data := postJSON(t, ts.URL+"/api/v1/jobs",
+		`{"kind":"simulate","target":"majority","input":[30,20],"runs":3,"seed":7}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatal(err)
+	}
+	// No workers yet: the result endpoint must refuse with 409.
+	resp, data = getJSON(t, ts.URL+"/api/v1/jobs/"+j.ID+"/result")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result while queued: %d %s, want 409", resp.StatusCode, data)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	j2, err := s2.Submit(JobSpec{Kind: KindSimulate, Target: "majority",
+		Input: []int64{30, 20}, Runs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, ts2.URL, j2.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job finished %s (%s)", done.Status, done.Error)
+	}
+	resp, data = getJSON(t, ts2.URL+"/api/v1/jobs/"+j2.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, data)
+	}
+	var full Job
+	if err := json.Unmarshal(data, &full); err != nil {
+		t.Fatal(err)
+	}
+	var res simulateResult
+	if err := json.Unmarshal(full.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindSimulate || res.Stats == nil || res.Stats.Runs != 3 || len(res.Samples) != 3 {
+		t.Fatalf("bad result document %s", full.Result)
+	}
+	if res.Protocol.Name == "" || res.Protocol.States == 0 {
+		t.Fatalf("missing protocol info in %s", full.Result)
+	}
+}
+
+// TestAPITopologyJob runs a simulate job on a restricted interaction graph
+// end to end, exercising the topology/fault plumbing from JobSpec through
+// simulate.Options.
+func TestAPITopologyJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	resp, data := postJSON(t, ts.URL+"/api/v1/jobs",
+		`{"kind":"simulate","target":"majority","input":[12,8],"runs":2,"seed":11,"topology":"clique"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, ts.URL, j.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job finished %s (%s)", done.Status, done.Error)
+	}
+	var res simulateResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.Runs != 2 || res.Stats.WrongOutputs != 0 {
+		t.Fatalf("bad topology result %s", done.Result)
+	}
+}
+
+// TestAPICancelQueued cancels a job before any worker can take it.
+func TestAPICancelQueued(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: -1})
+	resp, data := postJSON(t, ts.URL+"/api/v1/jobs",
+		`{"kind":"simulate","target":"majority","input":[6,4]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = postJSON(t, ts.URL+"/api/v1/jobs/"+j.ID+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, data)
+	}
+	got := waitTerminal(t, ts.URL, j.ID)
+	if got.Status != StatusCancelled {
+		t.Fatalf("status %s, want cancelled", got.Status)
+	}
+}
+
+// TestAPICancelRunning cancels a long sweep mid-flight: the job must land
+// in cancelled with partial results rather than running to completion.
+func TestAPICancelRunning(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	var inputs [][]int64
+	for i := 0; i < 400; i++ {
+		inputs = append(inputs, []int64{int64(100 + i), 50})
+	}
+	specInputs, _ := json.Marshal(inputs)
+	resp, data := postJSON(t, ts.URL+"/api/v1/jobs",
+		fmt.Sprintf(`{"kind":"sweep","target":"majority","inputs":%s,"runs":2}`, specInputs))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick it up, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Get(j.ID).Status == StatusQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, data = postJSON(t, ts.URL+"/api/v1/jobs/"+j.ID+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, data)
+	}
+	got := waitTerminal(t, ts.URL, j.ID)
+	if got.Status != StatusCancelled {
+		t.Fatalf("status %s, want cancelled", got.Status)
+	}
+}
+
+func TestAPIHealthAndDebug(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: -1})
+	resp, data := getJSON(t, ts.URL+"/api/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(data, &h); err != nil || h["ok"] != true {
+		t.Fatalf("healthz document %s (err %v)", data, err)
+	}
+	// The obs expvar+pprof base is mounted under /debug/.
+	resp, _ = getJSON(t, ts.URL+"/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", resp.StatusCode)
+	}
+}
+
+// TestAPIStream reads the NDJSON stream of a job until its terminal line.
+func TestAPIStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	j, err := s.Submit(JobSpec{Kind: KindSimulate, Target: "majority",
+		Input: []int64{20, 10}, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/stream?interval_ms=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var last streamLine
+	lines := 0
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("stream line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("empty stream")
+	}
+	if last.ID != j.ID || last.Status != StatusDone {
+		t.Fatalf("final stream line %+v, want done for %s", last, j.ID)
+	}
+}

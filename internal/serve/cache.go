@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/convert"
+	"repro/internal/obs"
+	"repro/internal/popprog"
+)
+
+// Cache is an LRU cache of §7 compile→convert results, keyed by the
+// program's canonical hash (a content address over the canonical source
+// rendering, so formatting and comments don't fragment the cache).
+//
+// Soundness: a hit must return exactly the protocol a fresh conversion
+// would have built. The canonical hash is blind to original spellings of
+// non-identifier names, but the compiler is not — names flow into converted
+// state names — so the cache NEVER compiles the submitted AST. It always
+// compiles the canonical re-rendering (Parse(WriteSource(prog))), which is
+// idempotent under round-tripping; the determinism tests in
+// internal/compile and internal/convert pin this contract. That makes the
+// cached value a pure function of the key.
+//
+// Concurrency: entries carry a sync.Once, so concurrent submissions of the
+// same program share one conversion (singleflight) instead of racing.
+type Cache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used; values are *cacheItem
+	m   map[string]*list.Element
+}
+
+type cacheItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *convert.Result
+	err  error
+}
+
+// NewCache returns a cache holding at most max conversions (min 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Convert returns the §7 conversion of prog, computing and caching it on
+// first use. The returned key is the program's canonical hash.
+func (c *Cache) Convert(prog *popprog.Program) (*convert.Result, string, error) {
+	key := prog.CanonicalHash()
+	met := obs.Serve()
+
+	c.mu.Lock()
+	var e *cacheEntry
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e = el.Value.(*cacheItem).entry
+		if met != nil {
+			met.CacheHits.Inc()
+		}
+	} else {
+		e = &cacheEntry{}
+		c.m[key] = c.ll.PushFront(&cacheItem{key: key, entry: e})
+		for c.ll.Len() > c.max {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.m, oldest.Value.(*cacheItem).key)
+			if met != nil {
+				met.CacheEvictions.Inc()
+			}
+		}
+		if met != nil {
+			met.CacheMisses.Inc()
+		}
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		t0 := time.Now()
+		// Compile the canonical re-rendering, not the submitted AST: see
+		// the type comment. prog hashes identically to rt by construction.
+		rt, err := popprog.Parse(prog.WriteSource())
+		if err != nil {
+			e.err = err
+			return
+		}
+		m, err := compile.Compile(rt)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res, e.err = convert.Convert(m)
+		if met != nil {
+			met.Conversions.Inc()
+			met.ConvertNanos.Add(time.Since(t0).Nanoseconds())
+		}
+	})
+	return e.res, key, e.err
+}
+
+// Len reports the number of cached conversions (including in-flight ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

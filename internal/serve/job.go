@@ -1,0 +1,399 @@
+// Package serve implements ppserved: simulation-as-a-service over HTTP/JSON.
+//
+// Clients submit jobs (simulate, sweep, explore) against either a named
+// built-in target or inline population-program source. Jobs run on a bounded
+// worker pool; program submissions go through a content-addressed LRU cache
+// of §7 compile→convert results, so repeat submissions of the same program —
+// under any formatting — skip the expensive machine→protocol conversion.
+// Sweep jobs checkpoint atomically and resume bit-identically after a crash
+// or restart.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/popprog"
+	"repro/internal/protocol"
+	"repro/internal/sched"
+	"repro/internal/simulate"
+)
+
+// Job kinds.
+const (
+	KindSimulate = "simulate" // MeasureConvergence at one input point
+	KindSweep    = "sweep"    // resumable convergence sweep over many points
+	KindExplore  = "explore"  // exhaustive reachability analysis
+)
+
+// Job statuses. queued and running are live; the rest are terminal.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// JobSpec is the client-submitted description of a job. Exactly one of
+// Target (a named built-in) and Program (inline population-program source)
+// selects the system under test.
+type JobSpec struct {
+	// Kind is simulate, sweep, or explore.
+	Kind string `json:"kind"`
+	// Target names a built-in: majority | unary:k | binary:j | remainder:m
+	// | figure1 | czerner:n | equality:n. The last three are population
+	// programs and go through the §7 conversion (and its cache).
+	Target string `json:"target,omitempty"`
+	// Program is inline population-program source; converted via §7 with
+	// cache, keyed by the source's canonical hash.
+	Program string `json:"program,omitempty"`
+	// Input is the input-count vector (simulate, explore).
+	Input []int64 `json:"input,omitempty"`
+	// Inputs is the list of input-count vectors of a sweep.
+	Inputs [][]int64 `json:"inputs,omitempty"`
+	// Expected forces the expected output of every run. When omitted,
+	// protocol targets use their built-in predicate and program targets
+	// default to true.
+	Expected *bool `json:"expected,omitempty"`
+	// Runs is the number of repeated runs per point (default 1).
+	Runs int `json:"runs,omitempty"`
+	// Seed is the base PRNG seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Workers fans runs (simulate) or points (sweep) out over goroutines;
+	// results are bit-identical for any value.
+	Workers int `json:"workers,omitempty"`
+	// Kernel selects the interaction kernel: exact | batch | fluid |
+	// langevin | auto (empty = per-step exact scheduling).
+	Kernel string `json:"kernel,omitempty"`
+	// Batch is the batched fast-path chunk size (0 = kernel default).
+	Batch int64 `json:"batch,omitempty"`
+	// MaxSteps bounds each run (0 = default budget).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// StableWindow and QuiescencePeriod tune convergence detection.
+	StableWindow     int64 `json:"stable_window,omitempty"`
+	QuiescencePeriod int64 `json:"quiescence_period,omitempty"`
+	// FluidFloor tunes the auto kernel's fluid-tier switch-over.
+	FluidFloor int64 `json:"fluid_floor,omitempty"`
+	// Topology restricts interactions to a graph (clique | ring |
+	// grid[:RxC] | powerlaw[:k]), per-step as in ppsim; excludes Kernel
+	// and Batch.
+	Topology string `json:"topology,omitempty"`
+	// TopoPolicy selects the edge-selection policy of a Topology run:
+	// random | roundrobin | starvation | adversary.
+	TopoPolicy string `json:"topo_policy,omitempty"`
+	// Crash, Revive, and Join are per-step fault rates for Topology runs.
+	Crash  float64 `json:"crash,omitempty"`
+	Revive float64 `json:"revive,omitempty"`
+	Join   float64 `json:"join,omitempty"`
+	// MaxStates bounds explore jobs (0 = engine default).
+	MaxStates int `json:"max_states,omitempty"`
+	// Checkpoint names the checkpoint file of a sweep job. When set (and
+	// the server has a state directory) the sweep writes periodic atomic
+	// checkpoints and resumes from them after a restart; resubmitting the
+	// identical spec continues where the dead server stopped.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+var checkpointNameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// Validate checks the spec without doing any expensive work: the kind and
+// shape rules below plus, for Program, a full parse (so submissions fail
+// fast with 400, and the parser is directly on the fuzzing surface).
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case KindSimulate, KindSweep, KindExplore:
+	case "":
+		return errors.New("kind is required (simulate | sweep | explore)")
+	default:
+		return fmt.Errorf("unknown kind %q (want simulate | sweep | explore)", s.Kind)
+	}
+	if (s.Target == "") == (s.Program == "") {
+		return errors.New("exactly one of target and program is required")
+	}
+	switch s.Kind {
+	case KindSweep:
+		if len(s.Inputs) == 0 {
+			return errors.New("sweep needs inputs (a list of input vectors)")
+		}
+		if len(s.Input) != 0 {
+			return errors.New("sweep takes inputs, not input")
+		}
+		for i, in := range s.Inputs {
+			if err := validCounts(in); err != nil {
+				return fmt.Errorf("inputs[%d]: %w", i, err)
+			}
+		}
+	default:
+		if len(s.Input) == 0 {
+			return fmt.Errorf("%s needs input (an input vector)", s.Kind)
+		}
+		if len(s.Inputs) != 0 {
+			return fmt.Errorf("%s takes input, not inputs", s.Kind)
+		}
+		if err := validCounts(s.Input); err != nil {
+			return fmt.Errorf("input: %w", err)
+		}
+	}
+	if s.Runs < 0 {
+		return fmt.Errorf("runs must be ≥ 0, got %d", s.Runs)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("workers must be ≥ 0, got %d", s.Workers)
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"batch", s.Batch}, {"max_steps", s.MaxSteps},
+		{"stable_window", s.StableWindow}, {"quiescence_period", s.QuiescencePeriod},
+		{"fluid_floor", s.FluidFloor}, {"max_states", int64(s.MaxStates)},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%s must be ≥ 0, got %d", f.name, f.v)
+		}
+	}
+	switch s.Kernel {
+	case "", simulate.KernelExact, simulate.KernelBatch, simulate.KernelFluid,
+		simulate.KernelLangevin, simulate.KernelAuto:
+	default:
+		return fmt.Errorf("unknown kernel %q", s.Kernel)
+	}
+	if s.Topology != "" {
+		if _, err := sched.ParseTopologySpec(s.Topology); err != nil {
+			return err
+		}
+		if s.Kernel != "" || s.Batch > 0 {
+			return errors.New("topology excludes kernel and batch (graph schedulers are per-step)")
+		}
+	}
+	switch s.TopoPolicy {
+	case "", sched.PolicyRandom, sched.PolicyRoundRobin, sched.PolicyStarvation, sched.PolicyAdversary:
+		if s.TopoPolicy != "" && s.Topology == "" {
+			return errors.New("topo_policy requires topology")
+		}
+	default:
+		return fmt.Errorf("unknown topo_policy %q", s.TopoPolicy)
+	}
+	if s.Crash != 0 || s.Revive != 0 || s.Join != 0 {
+		if s.Topology == "" {
+			return errors.New("crash/revive/join require topology")
+		}
+		f := sched.Faults{Crash: s.Crash, Revive: s.Revive, Join: s.Join}
+		if err := f.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Checkpoint != "" {
+		if s.Kind != KindSweep {
+			return errors.New("checkpoint only applies to sweep jobs")
+		}
+		if !checkpointNameRe.MatchString(s.Checkpoint) {
+			return fmt.Errorf("checkpoint name %q: must match %s", s.Checkpoint, checkpointNameRe)
+		}
+	}
+	if s.Program != "" {
+		if _, err := popprog.Parse(s.Program); err != nil {
+			return fmt.Errorf("program: %w", err)
+		}
+	} else if _, _, err := splitTarget(s.Target); err != nil {
+		return err
+	}
+	return nil
+}
+
+func validCounts(in []int64) error {
+	if len(in) == 0 {
+		return errors.New("empty input vector")
+	}
+	total := int64(0)
+	for _, c := range in {
+		if c < 0 {
+			return fmt.Errorf("negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return errors.New("all counts are zero")
+	}
+	return nil
+}
+
+func (s *JobSpec) runs() int {
+	if s.Runs <= 0 {
+		return 1
+	}
+	return s.Runs
+}
+
+func (s *JobSpec) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+func (s *JobSpec) options() simulate.Options {
+	opts := simulate.Options{
+		MaxSteps:         s.MaxSteps,
+		StableWindow:     s.StableWindow,
+		QuiescencePeriod: s.QuiescencePeriod,
+		BatchSize:        s.Batch,
+		Kernel:           s.Kernel,
+		FluidFloor:       s.FluidFloor,
+		Workers:          s.Workers,
+	}
+	if s.Topology != "" {
+		// Validate() vetted the spec string and the fault rates.
+		spec, _ := sched.ParseTopologySpec(s.Topology)
+		spec.Policy = s.TopoPolicy
+		opts.Topology = &spec
+		if s.Crash != 0 || s.Revive != 0 || s.Join != 0 {
+			opts.Faults = &sched.Faults{Crash: s.Crash, Revive: s.Revive, Join: s.Join}
+		}
+	}
+	return opts
+}
+
+// resolved is a JobSpec's system under test: either a protocol directly, or
+// a population program that still needs the §7 conversion (through the
+// server's cache) to become one.
+type resolved struct {
+	proto *protocol.Protocol
+	prog  *popprog.Program
+	// predicate is the built-in expected-output predicate of protocol
+	// targets; nil for programs.
+	predicate protocol.Predicate
+}
+
+// splitTarget splits "name[:param]" as in cmd/ppsim.
+func splitTarget(t string) (string, int64, error) {
+	name, paramStr, found := strings.Cut(t, ":")
+	var param int64
+	if found {
+		v, err := strconv.ParseInt(paramStr, 10, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("target parameter %q: %w", paramStr, err)
+		}
+		param = v
+	}
+	switch name {
+	case "majority", "figure1":
+		if found {
+			return "", 0, fmt.Errorf("target %q takes no parameter", name)
+		}
+	case "unary", "binary", "remainder", "czerner", "equality":
+		if !found {
+			return "", 0, fmt.Errorf("target %q needs a parameter, e.g. %s:3", name, name)
+		}
+	default:
+		return "", 0, fmt.Errorf("unknown target %q", t)
+	}
+	return name, param, nil
+}
+
+// resolve builds the system under test from the spec. Cheap protocol
+// constructions happen here; program compilation/conversion is deferred to
+// the worker (through the cache).
+func resolve(s *JobSpec) (*resolved, error) {
+	if s.Program != "" {
+		prog, err := popprog.Parse(s.Program)
+		if err != nil {
+			return nil, fmt.Errorf("program: %w", err)
+		}
+		return &resolved{prog: prog}, nil
+	}
+	name, param, err := splitTarget(s.Target)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "majority":
+		p, err := baseline.Majority()
+		if err != nil {
+			return nil, err
+		}
+		return &resolved{proto: p, predicate: baseline.MajorityPredicate}, nil
+	case "unary":
+		p, err := baseline.UnaryThreshold(param)
+		if err != nil {
+			return nil, err
+		}
+		return &resolved{proto: p, predicate: baseline.ThresholdPredicate(param)}, nil
+	case "binary":
+		p, err := baseline.BinaryThreshold(int(param))
+		if err != nil {
+			return nil, err
+		}
+		return &resolved{proto: p, predicate: baseline.ThresholdPredicate(int64(1) << param)}, nil
+	case "remainder":
+		p, err := baseline.Remainder(param, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &resolved{proto: p, predicate: baseline.RemainderPredicate(param, 0)}, nil
+	case "figure1":
+		return &resolved{prog: popprog.Figure1Program()}, nil
+	case "czerner", "equality":
+		var c *core.Construction
+		if name == "czerner" {
+			c, err = core.New(int(param))
+		} else {
+			c, err = core.NewEquality(int(param))
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &resolved{prog: c.Program}, nil
+	default:
+		return nil, fmt.Errorf("unknown target %q", s.Target)
+	}
+}
+
+// expectedFn is the per-point expected-output function of the job: the
+// spec's explicit override, the target's built-in predicate, or true.
+func (s *JobSpec) expectedFn(r *resolved) func([]int64) bool {
+	if s.Expected != nil {
+		want := *s.Expected
+		return func([]int64) bool { return want }
+	}
+	if r.predicate != nil {
+		return r.predicate
+	}
+	return func([]int64) bool { return true }
+}
+
+// Job is one submitted job. The embedded spec is immutable after submit;
+// the mutable fields are guarded by the server's mutex.
+type Job struct {
+	ID       string          `json:"id"`
+	Spec     JobSpec         `json:"spec"`
+	Status   string          `json:"status"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	CacheKey string          `json:"cache_key,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	// Completed/Total track sweep progress (points) for status/stream.
+	Completed int `json:"completed,omitempty"`
+	Total     int `json:"total,omitempty"`
+
+	cancel func() // cancels the running job's context; nil until started
+}
+
+// terminal reports whether the job reached a final status.
+func (j *Job) terminal() bool {
+	switch j.Status {
+	case StatusDone, StatusFailed, StatusCancelled:
+		return true
+	}
+	return false
+}

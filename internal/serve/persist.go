@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func (s *Server) jobsDir() string        { return filepath.Join(s.cfg.StateDir, "jobs") }
+func (s *Server) checkpointsDir() string { return filepath.Join(s.cfg.StateDir, "checkpoints") }
+
+// persistJob writes the job document atomically to StateDir/jobs/<id>.json.
+// Callers hold s.mu (except recover, which runs before the workers start),
+// so snapshots reach disk in state-transition order — without this a
+// Submit's "queued" write could land after the worker's "done" write and
+// resurrect a finished job on the next restart. Persistence is best-effort
+// bookkeeping of an in-memory store — a write failure must not fail the
+// job — but sweeps additionally checkpoint through internal/simulate,
+// which is where crash durability lives.
+func (s *Server) persistJob(j *Job) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	// Compact marshalling keeps the embedded Result RawMessage
+	// byte-identical across a persist/reload round trip (indenting would
+	// reformat it, breaking result bit-stability over restarts).
+	data, err := json.Marshal(j)
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.jobsDir(), j.ID+".json")
+	tmp, err := os.CreateTemp(s.jobsDir(), j.ID+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// recover reloads persisted jobs at startup. Terminal jobs come back as
+// queryable history; queued and running jobs are re-enqueued from scratch
+// (a half-run sweep finds its checkpoint and resumes bit-identically).
+// Called from New before the workers start, so enqueueing cannot race.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		return err
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(s.jobsDir(), e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			return fmt.Errorf("serve: corrupt job file %s: %w", path, err)
+		}
+		if j.ID == "" {
+			return fmt.Errorf("serve: job file %s has no id", path)
+		}
+		jobs = append(jobs, &j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+
+	met := obs.Serve()
+	for _, j := range jobs {
+		if _, dup := s.jobs[j.ID]; dup {
+			return fmt.Errorf("serve: duplicate job id %s", j.ID)
+		}
+		if !j.terminal() {
+			// The previous process died with this job live. Requeue it;
+			// determinism of the engines makes the rerun equivalent, and
+			// checkpointed sweeps skip already-completed points.
+			j.Status = StatusQueued
+			j.Started = nil
+			j.Completed, j.Total = 0, 0
+			select {
+			case s.queue <- j:
+				if met != nil {
+					met.JobsResumed.Inc()
+				}
+			default:
+				now := time.Now().UTC()
+				j.Status = StatusFailed
+				j.Error = "not re-enqueued after restart: job queue full"
+				j.Finished = &now
+			}
+			s.persistJob(j)
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		// IDs are j%06d; keep allocating above the recovered ones.
+		var n int
+		if _, err := fmt.Sscanf(j.ID, "j%d", &n); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package simulate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// SweepCheckpointVersion is the on-disk format version of sweep checkpoints.
+const SweepCheckpointVersion = 1
+
+// SweepPointSeed derives the base PRNG seed of sweep point idx from the
+// sweep seed. It is the single definition shared by Sweep and
+// SweepResumable: every run i of point idx draws its PRNG from
+// SweepPointSeed(seed, idx)+i, so a point's result is a pure function of
+// (protocol, inputs, runs, this seed, options) — which is what makes
+// checkpointed points safe to restore without replaying them.
+func SweepPointSeed(seed int64, idx int) int64 {
+	return seed + int64(idx)*1_000_003
+}
+
+// SweepCheckpoint is the serialised progress of a resumable sweep: the
+// identity of the sweep (key, runs, seed, point count) plus every completed
+// point with its full statistics. Checkpoints are written atomically
+// (temp file + rename in the same directory), so a reader never observes a
+// torn file: after a crash the checkpoint holds exactly the points of some
+// prefix of completions.
+type SweepCheckpoint struct {
+	Version int               `json:"version"`
+	// Key identifies the sweep spec; a caller-chosen string (the serve
+	// package uses a hash of the job spec). Resuming with a different key
+	// is an error — a checkpoint must never leak between sweeps.
+	Key    string            `json:"key"`
+	Runs   int               `json:"runs"`
+	Seed   int64             `json:"seed"`
+	Total  int               `json:"total"`
+	Points []CheckpointPoint `json:"points"`
+}
+
+// CheckpointPoint is one completed sweep point in a checkpoint.
+type CheckpointPoint struct {
+	Index  int     `json:"index"`
+	Inputs []int64 `json:"inputs"`
+	// Seed is the point's RNG stream offset (SweepPointSeed(sweep seed,
+	// Index)), recorded so a checkpoint is self-describing and resume can
+	// verify the stream assignment did not drift.
+	Seed  int64             `json:"seed"`
+	Stats *ConvergenceStats `json:"stats,omitempty"`
+	Err   string            `json:"err,omitempty"`
+}
+
+// LoadSweepCheckpoint reads a checkpoint file. A missing file is not an
+// error: it returns (nil, nil), meaning "start fresh".
+func LoadSweepCheckpoint(path string) (*SweepCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cp SweepCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("simulate: checkpoint %s: %w", path, err)
+	}
+	if cp.Version != SweepCheckpointVersion {
+		return nil, fmt.Errorf("simulate: checkpoint %s: version %d, want %d",
+			path, cp.Version, SweepCheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// Save writes the checkpoint atomically: marshal, write to a temp file in
+// the target directory, rename over the destination. On any POSIX
+// filesystem the rename is atomic, so a concurrent crash leaves either the
+// previous checkpoint or this one — never a torn file.
+func (cp *SweepCheckpoint) Save(path string) error {
+	data, err := json.MarshalIndent(cp, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return errors.Join(werr, serr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if met := obs.Sim(); met != nil {
+		met.CheckpointsWritten.Inc()
+	}
+	return nil
+}
+
+// SweepCheckpointConfig configures checkpointing of SweepResumable.
+type SweepCheckpointConfig struct {
+	// Path is the checkpoint file location. Its directory must exist.
+	Path string
+	// Key identifies the sweep spec. A checkpoint with a different key,
+	// runs, seed, or point count is rejected rather than silently ignored.
+	Key string
+	// Every is the number of newly completed points between checkpoint
+	// writes. Zero means 1 (checkpoint after every point). The final
+	// checkpoint (all completions so far) is always written before
+	// SweepResumable returns, including on cancellation.
+	Every int
+	// Progress, when non-nil, is called after each point completes (and
+	// once per restored point), with the number of completed points and the
+	// total. Calls are serialised.
+	Progress func(done, total int)
+}
+
+func (c *SweepCheckpointConfig) every() int {
+	if c == nil || c.Every <= 0 {
+		return 1
+	}
+	return c.Every
+}
+
+// SweepResumable is Sweep with cancellation and checkpoint/resume: it runs
+// MeasureConvergence for each input vector, fanning points out over
+// `workers` goroutines, periodically saving completed points to ck.Path,
+// and — when a valid checkpoint for the same sweep already exists there —
+// restoring its points instead of recomputing them.
+//
+// Determinism: every point's PRNG streams are derived from
+// SweepPointSeed(seed, idx) exactly as in Sweep, and points are mutually
+// independent, so the result set is bit-identical to an uninterrupted
+// Sweep of the same spec regardless of how many times the process was
+// killed and resumed in between (the crash/resume tests pin this, SIGKILL
+// included).
+//
+// Cancellation: when ctx is cancelled, no new points are started; points
+// already in flight finish, a final checkpoint is written, and the partial
+// results are returned alongside ctx.Err().
+func SweepResumable(ctx context.Context, p *protocol.Protocol, inputs [][]int64,
+	expected func(in []int64) bool, runs int, seed int64, workers int,
+	opts Options, ck *SweepCheckpointConfig) ([]SweepPoint, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	points := make([]SweepPoint, len(inputs))
+	done := make([]bool, len(inputs))
+
+	var cp *SweepCheckpoint
+	if ck != nil && ck.Path != "" {
+		loaded, err := LoadSweepCheckpoint(ck.Path)
+		if err != nil {
+			return nil, err
+		}
+		if loaded != nil {
+			if loaded.Key != ck.Key || loaded.Runs != runs || loaded.Seed != seed || loaded.Total != len(inputs) {
+				return nil, fmt.Errorf(
+					"simulate: checkpoint %s belongs to a different sweep (key %q runs %d seed %d total %d; want %q %d %d %d)",
+					ck.Path, loaded.Key, loaded.Runs, loaded.Seed, loaded.Total,
+					ck.Key, runs, seed, len(inputs))
+			}
+			cp = loaded
+		}
+	}
+	if cp == nil {
+		cp = &SweepCheckpoint{
+			Version: SweepCheckpointVersion,
+			Runs:    runs,
+			Seed:    seed,
+			Total:   len(inputs),
+		}
+		if ck != nil {
+			cp.Key = ck.Key
+		}
+	}
+
+	// Restore completed points from the checkpoint.
+	met := obs.Sim()
+	completed := 0
+	for _, cpp := range cp.Points {
+		if cpp.Index < 0 || cpp.Index >= len(inputs) || done[cpp.Index] {
+			return nil, fmt.Errorf("simulate: checkpoint %s: bad point index %d", ck.Path, cpp.Index)
+		}
+		if want := SweepPointSeed(seed, cpp.Index); cpp.Seed != want {
+			return nil, fmt.Errorf("simulate: checkpoint %s: point %d has seed %d, want %d",
+				ck.Path, cpp.Index, cpp.Seed, want)
+		}
+		pt := SweepPoint{Inputs: cpp.Inputs, Stats: cpp.Stats}
+		if cpp.Err != "" {
+			pt.Err = errors.New(cpp.Err)
+		}
+		points[cpp.Index] = pt
+		done[cpp.Index] = true
+		completed++
+		if met != nil {
+			met.SweepPointsResumed.Inc()
+		}
+		if ck != nil && ck.Progress != nil {
+			ck.Progress(completed, len(inputs))
+		}
+	}
+
+	// Dispatch the remaining points. Workers send completed indices to the
+	// collector loop below, which owns points/cp and serialises checkpoint
+	// writes.
+	jobs := make(chan int)
+	results := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				in := inputs[idx]
+				stats, err := MeasureConvergence(p, in, expected(in), runs,
+					SweepPointSeed(seed, idx), opts)
+				points[idx] = SweepPoint{Inputs: in, Stats: stats, Err: err}
+				results <- idx
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for idx := range inputs {
+			if done[idx] {
+				continue
+			}
+			select {
+			case jobs <- idx:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	sinceSave := 0
+	var saveErr error
+	for idx := range results {
+		pt := points[idx]
+		cpp := CheckpointPoint{
+			Index:  idx,
+			Inputs: pt.Inputs,
+			Seed:   SweepPointSeed(seed, idx),
+			Stats:  pt.Stats,
+		}
+		if pt.Err != nil {
+			cpp.Err = pt.Err.Error()
+		}
+		cp.Points = append(cp.Points, cpp)
+		completed++
+		sinceSave++
+		if ck != nil && ck.Path != "" && sinceSave >= ck.every() {
+			sort.Slice(cp.Points, func(i, j int) bool { return cp.Points[i].Index < cp.Points[j].Index })
+			if err := cp.Save(ck.Path); err != nil && saveErr == nil {
+				saveErr = err
+			}
+			sinceSave = 0
+		}
+		if ck != nil && ck.Progress != nil {
+			ck.Progress(completed, len(inputs))
+		}
+	}
+	if ck != nil && ck.Path != "" && sinceSave > 0 {
+		sort.Slice(cp.Points, func(i, j int) bool { return cp.Points[i].Index < cp.Points[j].Index })
+		if err := cp.Save(ck.Path); err != nil && saveErr == nil {
+			saveErr = err
+		}
+	}
+	if saveErr != nil {
+		return points, fmt.Errorf("simulate: checkpoint save: %w", saveErr)
+	}
+	if err := ctx.Err(); err != nil && completed < len(inputs) {
+		return points, err
+	}
+	return points, nil
+}

@@ -437,12 +437,12 @@ func RunInput(p *protocol.Protocol, inputCounts []int64, s sched.Scheduler, opts
 
 // ConvergenceStats summarises repeated runs of the same input.
 type ConvergenceStats struct {
-	Runs          int
-	WrongOutputs  int
-	MeanSteps     float64
-	MeanParallel  float64
-	MaxSteps      int64
-	MeanEffective float64
+	Runs          int     `json:"runs"`
+	WrongOutputs  int     `json:"wrong_outputs"`
+	MeanSteps     float64 `json:"mean_steps"`
+	MeanParallel  float64 `json:"mean_parallel"`
+	MaxSteps      int64   `json:"max_steps"`
+	MeanEffective float64 `json:"mean_effective"`
 }
 
 // convergenceRun performs the i-th repeated run of a measurement: a fresh
@@ -565,11 +565,21 @@ func measureRuns(p *protocol.Protocol, inputCounts []int64, runs int, seed int64
 // statistically equivalent — but not bit-identical — to the exact kernel's
 // (the differential tests in this package certify the equivalence).
 func MeasureConvergence(p *protocol.Protocol, inputCounts []int64, expected bool, runs int, seed int64, opts Options) (*ConvergenceStats, error) {
+	stats, _, err := MeasureConvergenceWithSamples(p, inputCounts, expected, runs, seed, opts)
+	return stats, err
+}
+
+// MeasureConvergenceWithSamples is MeasureConvergence that also returns the
+// per-run interaction counts from the same set of runs, so callers needing
+// both the aggregate and the raw samples (the serve package's job results)
+// pay for the simulation once.
+func MeasureConvergenceWithSamples(p *protocol.Protocol, inputCounts []int64, expected bool, runs int, seed int64, opts Options) (*ConvergenceStats, []float64, error) {
 	results, err := measureRuns(p, inputCounts, runs, seed, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	stats := &ConvergenceStats{Runs: runs}
+	samples := make([]float64, 0, runs)
 	var totalSteps, totalEffective int64
 	var totalParallel float64
 	want := protocol.OutputFalse
@@ -586,11 +596,12 @@ func MeasureConvergence(p *protocol.Protocol, inputCounts []int64, expected bool
 		if res.Steps > stats.MaxSteps {
 			stats.MaxSteps = res.Steps
 		}
+		samples = append(samples, float64(res.Steps))
 	}
 	stats.MeanSteps = float64(totalSteps) / float64(runs)
 	stats.MeanEffective = float64(totalEffective) / float64(runs)
 	stats.MeanParallel = totalParallel / float64(runs)
-	return stats, nil
+	return stats, samples, nil
 }
 
 // MeasureConvergenceSamples is MeasureConvergence returning the per-run

@@ -42,7 +42,7 @@ func Sweep(p *protocol.Protocol, inputs [][]int64, expected func(in []int64) boo
 			for idx := range jobs {
 				in := inputs[idx]
 				stats, err := MeasureConvergence(p, in, expected(in), runs,
-					seed+int64(idx)*1_000_003, opts)
+					SweepPointSeed(seed, idx), opts)
 				points[idx] = SweepPoint{Inputs: in, Stats: stats, Err: err}
 			}
 		}()
