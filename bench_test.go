@@ -13,6 +13,8 @@
 //	E10 Lemma 15   → BenchmarkLeaderElection
 //	E11 Theorem 2  → BenchmarkTheorem2Robustness
 //	E12 §1         → BenchmarkConvergence
+//	E17 shrink     → BenchmarkShrinkPipeline / BenchmarkShrinkConvert /
+//	                 BenchmarkShrinkExplore
 //
 // The scheduler-throughput benchmarks (BenchmarkRandomPairStep,
 // BenchmarkBatchStepN, BenchmarkMeasureConvergence) compare the per-step
@@ -181,6 +183,97 @@ func BenchmarkConvertPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkShrinkPipeline runs E17's counting path — the machine-level
+// optimization passes plus state counting, no transition table — per
+// construction level.
+func BenchmarkShrinkPipeline(b *testing.B) {
+	for n := 1; n <= 4; n++ {
+		c, err := core.New(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var removed int
+			for i := 0; i < b.N; i++ {
+				m, err := compile.Compile(c.Program)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, report, err := convert.OptimizeStates(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				removed = report.StatesRemoved()
+			}
+			b.ReportMetric(float64(removed), "states-removed")
+		})
+	}
+}
+
+// BenchmarkShrinkConvert materialises the optimized Figure 1 protocol (full
+// pipeline: machine passes, conversion, reduce, compact). Its transitions
+// metric is directly comparable to BenchmarkConvertPipeline's plain
+// conversion of the same machine.
+func BenchmarkShrinkConvert(b *testing.B) {
+	machine, err := compile.Compile(popprog.Figure1Program())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, _, err := convert.Optimize(machine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Protocol.Transitions)), "transitions")
+	}
+}
+
+// BenchmarkShrinkExplore re-runs the exact explorer over the x ≥ 1 protocol
+// before and after the shrink pipeline: the same decision problem on the
+// same population, so the reachable-states and wall-clock gap is exactly
+// what the pipeline buys the model checker.
+func BenchmarkShrinkExplore(b *testing.B) {
+	machine, err := compile.Compile(geOneProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain, err := convert.Convert(machine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, _, err := convert.Optimize(machine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		res  *convert.Result
+	}{{"plain", plain}, {"optimized", opt}} {
+		b.Run(v.name, func(b *testing.B) {
+			p := v.res.Protocol
+			m := int64(v.res.NumPointers) + 1 // |F| pointer agents + one input
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := p.InitialConfig(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := explore.Explore[*multiset.Multiset](
+					explore.NewProtocolSystem(p), []*multiset.Multiset{c}, explore.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.StabilisesTo(true) {
+					b.Fatalf("%s protocol does not decide 1 ≥ 1", v.name)
+				}
+				b.ReportMetric(float64(res.NumStates), "reachable-states")
+			}
+		})
+	}
+}
+
 // BenchmarkTheorem3Decide decides m = k(n) with the construction (E6).
 func BenchmarkTheorem3Decide(b *testing.B) {
 	for n := 1; n <= 2; n++ {
@@ -225,10 +318,10 @@ func BenchmarkTheorem5Accounting(b *testing.B) {
 	}
 }
 
-// BenchmarkLeaderElection runs ⟨elect⟩ to completion under random pairing
-// (E10, Lemma 15).
-func BenchmarkLeaderElection(b *testing.B) {
-	prog := &popprog.Program{
+// geOneProgram is the minimal x ≥ 1 program used by the election and
+// shrink-explore benchmarks.
+func geOneProgram() *popprog.Program {
+	return &popprog.Program{
 		Name:      "ge1",
 		Registers: []string{"x"},
 		Procedures: []*popprog.Procedure{{
@@ -241,7 +334,12 @@ func BenchmarkLeaderElection(b *testing.B) {
 			},
 		}},
 	}
-	machine, err := compile.Compile(prog)
+}
+
+// BenchmarkLeaderElection runs ⟨elect⟩ to completion under random pairing
+// (E10, Lemma 15).
+func BenchmarkLeaderElection(b *testing.B) {
+	machine, err := compile.Compile(geOneProgram())
 	if err != nil {
 		b.Fatal(err)
 	}

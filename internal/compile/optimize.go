@@ -1,0 +1,465 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/popmachine"
+)
+
+// This file implements the machine-level half of the shrink pipeline
+// (ROADMAP "Converter/compiler shrink pass"). Every state the §7.3
+// conversion emits for the instruction pointer costs 3 protocol states per
+// instruction (the none/wait/half stages over the IP domain 1..L), and the
+// ⟨elect⟩ gadget's transition count is quadratic in |Q_IP| = 3·L — so each
+// instruction removed here compounds into six fewer protocol states and a
+// quadratically smaller transition relation downstream.
+//
+// The passes preserve the machine's *decision semantics* exactly: the set
+// of stabilised outputs reachable from every initial register configuration
+// is unchanged (and with it the predicate the converted protocol decides,
+// including the pointer-agent offset |F| — no pass ever removes a pointer).
+// They do NOT preserve step counts or the intermediate configuration
+// sequence; the soundness argument per pass is spelled out in DESIGN.md
+// ("Optimization pipeline") and each pass's comment below.
+
+// MachinePassStat records one machine pass's effect for the OptReport.
+type MachinePassStat struct {
+	// Pass names the pass: thread-jumps, goto-next, dead-store,
+	// unreachable, narrow-domains.
+	Pass string `json:"pass"`
+	// Removed counts what the pass deleted, in its own unit: retargeted
+	// jump entries for thread-jumps, instructions for the dropping passes,
+	// pointer-domain values for narrow-domains.
+	Removed int `json:"removed"`
+	// Instrs and DomainSum snapshot |ℐ| and Σ_X |ℱ_X| after the pass.
+	Instrs    int `json:"instrs"`
+	DomainSum int `json:"domain_sum"`
+}
+
+// DomainSum returns Σ_X |ℱ_X|, the pointer-domain budget of Prop. 14/16.
+func DomainSum(m *popmachine.Machine) int {
+	total := 0
+	for _, p := range m.Pointers {
+		total += len(p.Domain)
+	}
+	return total
+}
+
+// OptimizeMachine runs the machine-level shrink passes on a copy of m until
+// no pass makes progress, and returns the shrunk machine with per-pass
+// accounting. The input machine is never mutated. The result validates and
+// has the same registers and pointers (so the converted protocol's input
+// convention and pointer-agent offset |F| are unchanged).
+func OptimizeMachine(m *popmachine.Machine) (*popmachine.Machine, []MachinePassStat, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("compile: optimize: %w", err)
+	}
+	cur := m.Clone()
+	var stats []MachinePassStat
+	record := func(pass string, removed int) {
+		stats = append(stats, MachinePassStat{
+			Pass: pass, Removed: removed,
+			Instrs: cur.NumInstrs(), DomainSum: DomainSum(cur),
+		})
+	}
+	for round := 0; ; round++ {
+		if round > 4*len(m.Instrs)+8 {
+			return nil, nil, fmt.Errorf("compile: optimize: passes did not reach a fixpoint on %q", m.Name)
+		}
+		progress := 0
+
+		n := threadJumps(cur)
+		record("thread-jumps", n)
+		progress += n
+
+		next, n, err := dropInstrs(cur, gotoNextDrops(cur))
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = next
+		record("goto-next", n)
+		progress += n
+
+		next, n, err = dropInstrs(cur, deadStoreDrops(cur))
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = next
+		record("dead-store", n)
+		progress += n
+
+		next, n, err = dropInstrs(cur, unreachableDrops(cur))
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = next
+		record("unreachable", n)
+		progress += n
+
+		n = narrowDomains(cur)
+		record("narrow-domains", n)
+		progress += n
+
+		if progress == 0 {
+			break
+		}
+	}
+	// Merge the per-round stats into one entry per pass so the report stays
+	// readable regardless of how many rounds the fixpoint took.
+	merged := mergePassStats(stats)
+	if err := cur.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("compile: optimize produced an invalid machine: %w", err)
+	}
+	return cur, merged, nil
+}
+
+// mergePassStats sums Removed per pass name (keeping first-seen order) and
+// takes the final Instrs/DomainSum snapshot.
+func mergePassStats(stats []MachinePassStat) []MachinePassStat {
+	var order []string
+	byName := make(map[string]*MachinePassStat)
+	for _, s := range stats {
+		e, ok := byName[s.Pass]
+		if !ok {
+			order = append(order, s.Pass)
+			c := s
+			byName[s.Pass] = &c
+			continue
+		}
+		e.Removed += s.Removed
+		e.Instrs = s.Instrs
+		e.DomainSum = s.DomainSum
+	}
+	out := make([]MachinePassStat, len(order))
+	for i, name := range order {
+		out[i] = *byName[name]
+	}
+	return out
+}
+
+// ipAssign reports whether in assigns the instruction pointer.
+func ipAssign(m *popmachine.Machine, in popmachine.Instr) (popmachine.AssignInstr, bool) {
+	a, ok := in.(popmachine.AssignInstr)
+	if !ok || a.X != m.IP {
+		return popmachine.AssignInstr{}, false
+	}
+	return a, true
+}
+
+// uncondTarget reports whether the instruction at 1-based addr is an
+// unconditional jump (an IP assignment whose function is constant over the
+// source pointer's domain), and if so its target.
+func uncondTarget(m *popmachine.Machine, addr int) (int, bool) {
+	a, ok := ipAssign(m, m.Instrs[addr-1])
+	if !ok {
+		return 0, false
+	}
+	dom := m.Pointers[a.Y].Domain
+	t := a.F[dom[0]]
+	for _, v := range dom[1:] {
+		if a.F[v] != t {
+			return 0, false
+		}
+	}
+	return t, true
+}
+
+// threadJumps retargets every IP-assignment entry through chains of
+// unconditional jumps: an entry f(v) = t where instruction t is "goto u"
+// becomes f(v) = u, repeated until the chain ends (cycles, such as the
+// entry spin "goto self", stop the walk). Sound because executing the
+// intermediate jump only burns a step: the register configuration and all
+// other pointers are untouched between t and u. Returns the number of
+// entries retargeted.
+func threadJumps(m *popmachine.Machine) int {
+	retargeted := 0
+	for idx, in := range m.Instrs {
+		a, ok := ipAssign(m, in)
+		if !ok {
+			continue
+		}
+		changed := false
+		f := a.F
+		for _, v := range m.Pointers[a.Y].Domain {
+			t := f[v]
+			visited := map[int]bool{}
+			for !visited[t] {
+				visited[t] = true
+				u, ok := uncondTarget(m, t)
+				if !ok || u == t || visited[u] {
+					break
+				}
+				t = u
+			}
+			if t != f[v] {
+				if !changed {
+					nf := make(map[int]int, len(f))
+					for k, w := range f {
+						nf[k] = w
+					}
+					f, changed = nf, true
+				}
+				f[v] = t
+				retargeted++
+			}
+		}
+		if changed {
+			a.F = f
+			m.Instrs[idx] = a
+		}
+	}
+	return retargeted
+}
+
+// gotoNextDrops returns the addresses of unconditional jumps to their own
+// successor. Such an instruction is equivalent to the implicit fallthrough
+// every non-IP instruction performs, so it can be deleted with references
+// forwarded to its successor.
+func gotoNextDrops(m *popmachine.Machine) map[int]bool {
+	drop := make(map[int]bool)
+	for addr := 1; addr < m.NumInstrs(); addr++ {
+		if t, ok := uncondTarget(m, addr); ok && t == addr+1 {
+			drop[addr] = true
+		}
+	}
+	return drop
+}
+
+// deadStoreDrops returns the addresses of pure pointer stores that are
+// unconditionally overwritten by the immediately following instruction
+// before any read: instruction i writes pointer p (an assignment with
+// X = p ≠ IP, or a detect writing CF) and instruction i+1 assigns p again
+// without reading it (source ≠ p, or a constant function). Dropping i is
+// sound on every path — paths through i continue at i+1 which installs the
+// final value, and paths jumping directly to i+1 are unaffected — provided
+// the killing store cannot hang before executing (i+1 < L, so the
+// fallthrough of i+1 stays inside the program and advanceable() holds).
+func deadStoreDrops(m *popmachine.Machine) map[int]bool {
+	drop := make(map[int]bool)
+	for addr := 1; addr+1 < m.NumInstrs(); addr++ {
+		var stored int
+		switch in := m.Instrs[addr-1].(type) {
+		case popmachine.AssignInstr:
+			if in.X == m.IP {
+				continue
+			}
+			stored = in.X
+		case popmachine.DetectInstr:
+			stored = m.CF
+		default:
+			continue
+		}
+		kill, ok := m.Instrs[addr].(popmachine.AssignInstr)
+		if !ok || kill.X != stored || kill.X == m.IP {
+			continue
+		}
+		if kill.Y == stored {
+			// The killer reads the stored pointer; only a constant
+			// function makes the read irrelevant.
+			if _, constant := constValue(m, kill); !constant {
+				continue
+			}
+		}
+		drop[addr] = true
+	}
+	return drop
+}
+
+// constValue reports whether assignment a's function is constant over its
+// source domain, returning the constant.
+func constValue(m *popmachine.Machine, a popmachine.AssignInstr) (int, bool) {
+	dom := m.Pointers[a.Y].Domain
+	c := a.F[dom[0]]
+	for _, v := range dom[1:] {
+		if a.F[v] != c {
+			return 0, false
+		}
+	}
+	return c, true
+}
+
+// unreachableDrops returns the addresses no execution can reach: the
+// fixpoint of address 1 (IP's initial value), fallthrough successors of
+// reachable non-IP-assignments, and the range of every reachable IP
+// assignment. Addresses stored in other pointers (procedure-return
+// pointers) only flow into IP through an IP assignment whose range covers
+// the pointer's whole domain, so they are included by construction.
+// Unreachable instructions include dead procedures and the implicit-return
+// epilogues of bodies whose every path returns explicitly.
+func unreachableDrops(m *popmachine.Machine) map[int]bool {
+	l := m.NumInstrs()
+	reach := make([]bool, l+1)
+	var stack []int
+	push := func(a int) {
+		if a >= 1 && a <= l && !reach[a] {
+			reach[a] = true
+			stack = append(stack, a)
+		}
+	}
+	push(1)
+	for len(stack) > 0 {
+		addr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a, ok := ipAssign(m, m.Instrs[addr-1]); ok {
+			for _, v := range m.Pointers[a.Y].Domain {
+				push(a.F[v])
+			}
+			continue
+		}
+		push(addr + 1)
+	}
+	drop := make(map[int]bool)
+	for addr := 1; addr <= l; addr++ {
+		if !reach[addr] {
+			drop[addr] = true
+		}
+	}
+	return drop
+}
+
+// dropInstrs removes the instructions at the given 1-based addresses,
+// renumbers the survivors, and remaps every address reference (the IP
+// domain and the ranges of IP assignments — addresses held in other
+// pointers are opaque tokens translated by the IP assignment that consumes
+// them, so their domains need no rewrite). A reference to a dropped address
+// forwards to the next surviving instruction, which is exactly the
+// fallthrough the dropping passes rely on. Returns the (possibly new)
+// machine and the number of instructions removed.
+func dropInstrs(m *popmachine.Machine, drop map[int]bool) (*popmachine.Machine, int, error) {
+	if len(drop) == 0 {
+		return m, 0, nil
+	}
+	l := m.NumInstrs()
+	// fwd[a] = new 1-based address of the first kept instruction ≥ a.
+	fwd := make([]int, l+2)
+	kept := 0
+	for a := l; a >= 1; a-- {
+		if !drop[a] {
+			kept++
+		}
+	}
+	next := kept + 1 // sentinel: forwarding past the end
+	newAddr := kept
+	for a := l; a >= 1; a-- {
+		if !drop[a] {
+			next = newAddr
+			newAddr--
+		}
+		fwd[a] = next
+	}
+	fwd[l+1] = kept + 1
+
+	remap := func(a int) (int, error) {
+		if a < 1 || a > l {
+			return 0, fmt.Errorf("compile: optimize: address %d out of 1..%d", a, l)
+		}
+		t := fwd[a]
+		if t > kept {
+			return 0, fmt.Errorf("compile: optimize: reference to dropped trailing instruction %d", a)
+		}
+		return t, nil
+	}
+
+	out := m.Clone()
+	out.Instrs = out.Instrs[:0]
+	for a := 1; a <= l; a++ {
+		if drop[a] {
+			continue
+		}
+		in := m.Instrs[a-1]
+		if asg, ok := ipAssign(m, in); ok {
+			f := make(map[int]int, len(asg.F))
+			for k, v := range asg.F {
+				t, err := remap(v)
+				if err != nil {
+					return nil, 0, err
+				}
+				f[k] = t
+			}
+			asg.F = f
+			in = asg
+		}
+		out.Instrs = append(out.Instrs, in)
+	}
+	dom := make([]int, kept)
+	for i := range dom {
+		dom[i] = i + 1
+	}
+	out.Pointers[out.IP].Domain = dom
+	out.Pointers[out.IP].Initial = 1
+	return out, l - kept, nil
+}
+
+// narrowDomains shrinks every non-special pointer's domain to the values
+// the machine can actually store into it: its initial value plus the range
+// of every assignment targeting it, restricted to the (narrowed) source
+// domains, iterated to a fixpoint. IP is left alone (its domain gates the
+// fallthrough semantics via advanceable), and OF/CF keep their mandatory
+// boolean domains. Narrowing never changes a single execution step — no
+// machine operation reads a pointer's domain, only its value — it only
+// shrinks the state space the §7.3 conversion materialises per pointer
+// family. Assignment functions sourced from a narrowed pointer are
+// restricted to the surviving keys. Returns the number of domain values
+// removed.
+func narrowDomains(m *popmachine.Machine) int {
+	fixed := map[int]bool{m.IP: true, m.OF: true, m.CF: true}
+	removed := 0
+	for {
+		// Storable values per pointer under the current domains.
+		storable := make(map[int]map[int]bool, len(m.Pointers))
+		for pi, p := range m.Pointers {
+			if fixed[pi] {
+				continue
+			}
+			storable[pi] = map[int]bool{p.Initial: true}
+		}
+		for _, in := range m.Instrs {
+			a, ok := in.(popmachine.AssignInstr)
+			if !ok || fixed[a.X] {
+				continue
+			}
+			for _, v := range m.Pointers[a.Y].Domain {
+				storable[a.X][a.F[v]] = true
+			}
+		}
+		changed := false
+		for pi, vals := range storable {
+			p := m.Pointers[pi]
+			var dom []int
+			for _, v := range p.Domain {
+				if vals[v] {
+					dom = append(dom, v)
+				}
+			}
+			if len(dom) < len(p.Domain) {
+				removed += len(p.Domain) - len(dom)
+				sort.Ints(dom)
+				p.Domain = dom
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Restrict assignment functions to the narrowed source domains so
+		// the next iteration sees tighter ranges.
+		for idx, in := range m.Instrs {
+			a, ok := in.(popmachine.AssignInstr)
+			if !ok {
+				continue
+			}
+			dom := m.Pointers[a.Y].Domain
+			if len(a.F) == len(dom) {
+				continue
+			}
+			f := make(map[int]int, len(dom))
+			for _, v := range dom {
+				f[v] = a.F[v]
+			}
+			a.F = f
+			m.Instrs[idx] = a
+		}
+	}
+	return removed
+}

@@ -1,0 +1,370 @@
+package compile
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/popmachine"
+	"repro/internal/popprog"
+	"repro/internal/sched"
+)
+
+// optimize returns the shrunk machine or fails the test.
+func optimize(t *testing.T, m *popmachine.Machine) (*popmachine.Machine, []MachinePassStat) {
+	t.Helper()
+	opt, stats, err := OptimizeMachine(m)
+	if err != nil {
+		t.Fatalf("OptimizeMachine: %v", err)
+	}
+	return opt, stats
+}
+
+// TestOptimizeDifferentialFuzz runs the compiler differential generator's
+// programs through both the plain and the optimized machine under the
+// truthful oracle and requires identical logical registers and output flag
+// — the machine-level half of the shrink pipeline's soundness gate.
+func TestOptimizeDifferentialFuzz(t *testing.T) {
+	const (
+		trials  = 200
+		numRegs = 3
+	)
+	g := &fuzzGen{rng: sched.NewRand(777), numRegs: numRegs, helperProc: 1, checkProc: 2}
+	helper := &popprog.Procedure{
+		Name: "Helper",
+		Body: []popprog.Stmt{popprog.If{
+			Cond: popprog.Detect{Reg: 0},
+			Then: []popprog.Stmt{popprog.SetOF{Value: true}},
+			Else: []popprog.Stmt{popprog.SetOF{Value: false}},
+		}},
+	}
+	check := &popprog.Procedure{
+		Name:    "Check",
+		Returns: true,
+		Body: []popprog.Stmt{
+			popprog.If{
+				Cond: popprog.Detect{Reg: 2},
+				Then: []popprog.Stmt{popprog.Return{HasValue: true, Value: true}},
+			},
+			popprog.Return{HasValue: true, Value: false},
+		},
+	}
+	shrunkTotal := 0
+	for trial := 0; trial < trials; trial++ {
+		body := g.stmts(3, 12, map[int]bool{})
+		body = append(body, popprog.While{Cond: popprog.True{}}) // never halt Main
+		prog := &popprog.Program{
+			Name:       fmt.Sprintf("optfuzz-%d", trial),
+			Registers:  []string{"r0", "r1", "r2"},
+			Procedures: []*popprog.Procedure{{Name: "Main", Body: body}, helper, check},
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v\n%s", trial, err, prog.Format())
+		}
+		machine, err := Compile(prog)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		opt, _ := optimize(t, machine)
+		if opt.NumInstrs() > machine.NumInstrs() {
+			t.Fatalf("trial %d: optimization grew the program %d → %d",
+				trial, machine.NumInstrs(), opt.NumInstrs())
+		}
+		shrunkTotal += machine.NumInstrs() - opt.NumInstrs()
+
+		counts := make([]int64, numRegs)
+		for i := range counts {
+			counts[i] = int64(g.rng.Intn(4))
+		}
+		regs := multiset.FromCounts(counts)
+
+		cfg, err := machine.InitialConfig(regs.Clone())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		plainRes := machine.Run(cfg, truthfulDet{}, 800_000)
+
+		optCfg, err := opt.InitialConfig(regs.Clone())
+		if err != nil {
+			t.Fatalf("trial %d: optimized InitialConfig: %v", trial, err)
+		}
+		optRes := opt.Run(optCfg, truthfulDet{}, 800_000)
+
+		if plainRes.Hung || optRes.Hung {
+			t.Fatalf("trial %d: unexpected hang (plain %v, optimized %v)\n%s",
+				trial, plainRes.Hung, optRes.Hung, prog.Format())
+		}
+		for r := 0; r < numRegs; r++ {
+			got := optCfg.Regs.Count(optCfg.Pointers[opt.VReg[r]])
+			want := cfg.Regs.Count(cfg.Pointers[machine.VReg[r]])
+			if got != want {
+				t.Fatalf("trial %d: register %s diverges: plain %d, optimized %d\n%s",
+					trial, prog.Registers[r], want, got, prog.Format())
+			}
+		}
+		if got, want := opt.Output(optCfg), machine.Output(cfg); got != want {
+			t.Fatalf("trial %d: OF diverges: plain %v, optimized %v\n%s",
+				trial, want, got, prog.Format())
+		}
+	}
+	if shrunkTotal == 0 {
+		t.Fatal("optimizer removed no instructions across any fuzz trial")
+	}
+}
+
+// twoProcProgram builds Main plus a second procedure; callSecond controls
+// whether Main ever calls it.
+func twoProcProgram(callSecond bool) *popprog.Program {
+	body := []popprog.Stmt{popprog.SetOF{Value: true}}
+	if callSecond {
+		body = append(body, popprog.Call{Proc: 1})
+	}
+	body = append(body, popprog.While{Cond: popprog.True{}})
+	return &popprog.Program{
+		Name:      "twoproc",
+		Registers: []string{"a", "b"},
+		Procedures: []*popprog.Procedure{
+			{Name: "Main", Body: body},
+			{Name: "Dead", Body: []popprog.Stmt{popprog.Move{From: 0, To: 1}}},
+		},
+	}
+}
+
+func mustCompile(t *testing.T, prog *popprog.Program) *popmachine.Machine {
+	t.Helper()
+	m, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+// TestOptimizeDropsDeadProcedure checks the unreachable pass deletes an
+// uncalled procedure's body while a called one survives.
+func TestOptimizeDropsDeadProcedure(t *testing.T) {
+	deadM := mustCompile(t, twoProcProgram(false))
+	liveM := mustCompile(t, twoProcProgram(true))
+	deadOpt, deadStats := optimize(t, deadM)
+	liveOpt, _ := optimize(t, liveM)
+
+	// The dead variant must lose strictly more instructions than the live
+	// one loses beyond its extra call/return plumbing, and in particular
+	// the dead body's move must be gone.
+	countMoves := func(m *popmachine.Machine) int {
+		n := 0
+		for _, in := range m.Instrs {
+			if _, ok := in.(popmachine.MoveInstr); ok {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countMoves(deadOpt); got != 0 {
+		t.Fatalf("dead procedure's move survived optimization (%d moves left)", got)
+	}
+	if got := countMoves(liveOpt); got == 0 {
+		t.Fatal("live procedure's move was deleted")
+	}
+	unreachable := 0
+	for _, s := range deadStats {
+		if s.Pass == "unreachable" {
+			unreachable = s.Removed
+		}
+	}
+	if unreachable == 0 {
+		t.Fatal("unreachable pass reported no removals for a dead procedure")
+	}
+}
+
+// TestOptimizeDropsRestartHelper checks the restart drain loops survive
+// exactly when the program can reach them: the protocol-level restart
+// re-seeds every pointer at its initial value (IP back to 1), so a program
+// with no restart statement can never enter the helper.
+func TestOptimizeDropsRestartHelper(t *testing.T) {
+	withRestart := &popprog.Program{
+		Name:      "restarting",
+		Registers: []string{"a", "b"},
+		Procedures: []*popprog.Procedure{{Name: "Main", Body: []popprog.Stmt{
+			popprog.If{
+				Cond: popprog.Detect{Reg: 0},
+				Then: []popprog.Stmt{popprog.Restart{}},
+			},
+			popprog.While{Cond: popprog.True{}},
+		}}},
+	}
+	without := &popprog.Program{
+		Name:      "plain",
+		Registers: []string{"a", "b"},
+		Procedures: []*popprog.Procedure{{Name: "Main", Body: []popprog.Stmt{
+			popprog.If{
+				Cond: popprog.Detect{Reg: 0},
+				Then: []popprog.Stmt{popprog.SetOF{Value: true}},
+			},
+			popprog.While{Cond: popprog.True{}},
+		}}},
+	}
+	countMoves := func(m *popmachine.Machine) int {
+		n := 0
+		for _, in := range m.Instrs {
+			if _, ok := in.(popmachine.MoveInstr); ok {
+				n++
+			}
+		}
+		return n
+	}
+	optWith, _ := optimize(t, mustCompile(t, withRestart))
+	optWithout, _ := optimize(t, mustCompile(t, without))
+	// The drain loops are the only moves either program contains.
+	if got := countMoves(optWith); got == 0 {
+		t.Fatal("restarting program lost its drain loops")
+	}
+	if got := countMoves(optWithout); got != 0 {
+		t.Fatalf("restart-free program kept %d drain moves", got)
+	}
+}
+
+// TestOptimizeStructure checks the structural invariants every optimized
+// machine must satisfy: it validates, registers and pointers are unchanged
+// (count, names, initial values — the conversion's input convention and the
+// |F| pointer-agent offset depend on them), and the IP domain is exactly
+// 1..L'.
+func TestOptimizeStructure(t *testing.T) {
+	g := &fuzzGen{rng: sched.NewRand(31), numRegs: 3, helperProc: 1, checkProc: 2}
+	body := g.stmts(3, 12, map[int]bool{})
+	body = append(body, popprog.While{Cond: popprog.True{}})
+	prog := &popprog.Program{
+		Name:      "structural",
+		Registers: []string{"r0", "r1", "r2"},
+		Procedures: []*popprog.Procedure{
+			{Name: "Main", Body: body},
+			{Name: "Helper", Body: []popprog.Stmt{popprog.SetOF{Value: true}}},
+			{Name: "Check", Returns: true, Body: []popprog.Stmt{popprog.Return{HasValue: true, Value: false}}},
+		},
+	}
+	m := mustCompile(t, prog)
+	before := m.Clone()
+	opt, _ := optimize(t, m)
+
+	if !reflect.DeepEqual(m, before) {
+		t.Fatal("OptimizeMachine mutated its input")
+	}
+	if err := opt.Validate(); err != nil {
+		t.Fatalf("optimized machine invalid: %v", err)
+	}
+	if !reflect.DeepEqual(opt.Registers, m.Registers) {
+		t.Fatalf("registers changed: %v vs %v", opt.Registers, m.Registers)
+	}
+	if len(opt.Pointers) != len(m.Pointers) {
+		t.Fatalf("pointer count changed: %d vs %d", len(opt.Pointers), len(m.Pointers))
+	}
+	for i, p := range opt.Pointers {
+		orig := m.Pointers[i]
+		if p.Name != orig.Name {
+			t.Fatalf("pointer %d renamed %q → %q", i, orig.Name, p.Name)
+		}
+		if i != opt.IP && p.Initial != orig.Initial {
+			t.Fatalf("pointer %q initial changed %d → %d", p.Name, orig.Initial, p.Initial)
+		}
+		if i == opt.IP || i == opt.OF || i == opt.CF {
+			continue
+		}
+		if len(p.Domain) > len(orig.Domain) {
+			t.Fatalf("pointer %q domain grew %d → %d", p.Name, len(orig.Domain), len(p.Domain))
+		}
+	}
+	ip := opt.Pointers[opt.IP]
+	if len(ip.Domain) != opt.NumInstrs() {
+		t.Fatalf("IP domain has %d values for %d instructions", len(ip.Domain), opt.NumInstrs())
+	}
+	for i, v := range ip.Domain {
+		if v != i+1 {
+			t.Fatalf("IP domain not 1..L: position %d holds %d", i, v)
+		}
+	}
+}
+
+// TestOptimizeDeterministicAndIdempotent checks two runs produce identical
+// machines and stats, and that re-optimizing an optimized machine is a
+// no-op (the fixpoint really is a fixpoint).
+func TestOptimizeDeterministicAndIdempotent(t *testing.T) {
+	g := &fuzzGen{rng: sched.NewRand(99), numRegs: 3, helperProc: 1, checkProc: 2}
+	body := g.stmts(3, 12, map[int]bool{})
+	body = append(body, popprog.While{Cond: popprog.True{}})
+	prog := &popprog.Program{
+		Name:      "fixpoint",
+		Registers: []string{"r0", "r1", "r2"},
+		Procedures: []*popprog.Procedure{
+			{Name: "Main", Body: body},
+			{Name: "Helper", Body: []popprog.Stmt{popprog.SetOF{Value: true}}},
+			{Name: "Check", Returns: true, Body: []popprog.Stmt{popprog.Return{HasValue: true, Value: false}}},
+		},
+	}
+	m := mustCompile(t, prog)
+	opt1, stats1 := optimize(t, m)
+	opt2, stats2 := optimize(t, m)
+	if !reflect.DeepEqual(opt1, opt2) {
+		t.Fatal("two optimization runs diverged")
+	}
+	if !reflect.DeepEqual(stats1, stats2) {
+		t.Fatalf("stats diverged:\n%v\n%v", stats1, stats2)
+	}
+	again, stats3 := optimize(t, opt1)
+	if again.NumInstrs() != opt1.NumInstrs() || DomainSum(again) != DomainSum(opt1) {
+		t.Fatalf("re-optimization shrank further: L %d → %d, domains %d → %d",
+			opt1.NumInstrs(), again.NumInstrs(), DomainSum(opt1), DomainSum(again))
+	}
+	for _, s := range stats3 {
+		if s.Removed != 0 {
+			t.Fatalf("re-optimization pass %s removed %d", s.Pass, s.Removed)
+		}
+	}
+}
+
+// TestOptimizePasses pins the individual passes on a hand-built machine:
+// a goto-next jump, a jump chain, a dead store, and unreachable tail code.
+func TestOptimizePasses(t *testing.T) {
+	prog := &popprog.Program{
+		Name:      "handmade",
+		Registers: []string{"a", "b"},
+		Procedures: []*popprog.Procedure{{Name: "Main", Body: []popprog.Stmt{
+			// If with empty else compiles to a goto-next at the join.
+			popprog.If{
+				Cond: popprog.Detect{Reg: 0},
+				Then: []popprog.Stmt{popprog.SetOF{Value: true}},
+			},
+			// Back-to-back OF stores: the first is dead.
+			popprog.SetOF{Value: false},
+			popprog.SetOF{Value: true},
+			popprog.While{Cond: popprog.True{}},
+		}}},
+	}
+	m := mustCompile(t, prog)
+	opt, stats := optimize(t, m)
+	byPass := map[string]int{}
+	for _, s := range stats {
+		byPass[s.Pass] += s.Removed
+	}
+	if byPass["dead-store"] == 0 {
+		t.Fatalf("dead OF store not removed; stats %v\nlisting:\n%v", stats, m.Listing())
+	}
+	if byPass["unreachable"] == 0 {
+		t.Fatalf("unreachable epilogue not removed; stats %v", stats)
+	}
+	if opt.NumInstrs() >= m.NumInstrs() {
+		t.Fatalf("no net shrink: %d → %d", m.NumInstrs(), opt.NumInstrs())
+	}
+	// The optimized machine still computes the same result: from a ∈ {0,1}
+	// the truthful run must end with OF = true (final store wins).
+	for _, a := range []int64{0, 1} {
+		regs := multiset.FromCounts([]int64{a, 0})
+		cfg, err := opt.InitialConfig(regs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := opt.Run(cfg, truthfulDet{}, 10_000)
+		if res.Hung || !opt.Output(cfg) {
+			t.Fatalf("a=%d: hung=%v output=%v, want running with OF=true", a, res.Hung, opt.Output(cfg))
+		}
+	}
+}

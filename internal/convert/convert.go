@@ -55,7 +55,9 @@ type Result struct {
 	// overhead i in Theorem 5's φ'(x) ⟺ φ(x−i) ∧ x ≥ i).
 	NumPointers int
 	// CoreStates is |Q*| and must satisfy |Q*| ≤ |Q| + 7·Σ|ℱ_X| + L
-	// (Proposition 16); Protocol has exactly 2·|Q*| states.
+	// (Proposition 16). Convert's Protocol has exactly 2·|Q*| states;
+	// Optimize's has fewer (the support-closure reduction removes states
+	// no run can occupy).
 	CoreStates int
 
 	m          *popmachine.Machine
@@ -256,6 +258,23 @@ func (c *converter) planStates() {
 	}
 }
 
+// ofStates lists the OF pointer's stage×value states in canonical order
+// (the order planStates created them). The converter's two OF sweeps must
+// use this instead of ranging over the ofValue map: map iteration order
+// would make the emitted transition order — and thus the protocol
+// fingerprint the ppserved cache keys its soundness argument on —
+// nondeterministic.
+func (c *converter) ofStates() []string {
+	var out []string
+	of := c.m.OF
+	for _, stage := range c.stages[of] {
+		for _, v := range c.m.Pointers[of].Domain {
+			out = append(out, PointerState(c.m, of, stage, v))
+		}
+	}
+	return out
+}
+
 // pointerStates lists every state of the given pointer's agent.
 func (c *converter) pointerStates(pi int) []string {
 	var out []string
@@ -297,8 +316,8 @@ func (c *converter) buildCore() (*protocol.Protocol, error) {
 	// The core protocol has no meaningful accepting set; consensus comes
 	// from the broadcast wrapper. Mark OF-true states accepting so the
 	// core can still be inspected.
-	for s, v := range c.ofValue {
-		b.AcceptingIf(s, v == popmachine.ValTrue)
+	for _, s := range c.ofStates() {
+		b.AcceptingIf(s, c.ofValue[s] == popmachine.ValTrue)
 	}
 	return b.Build()
 }
@@ -497,8 +516,8 @@ func (c *converter) wrapBroadcast(core *protocol.Protocol) (*protocol.Protocol, 
 		}
 	}
 	// Identity interactions with the OF agent broadcast its value.
-	for ofState, v := range c.ofValue {
-		val := v == popmachine.ValTrue
+	for _, ofState := range c.ofStates() {
+		val := c.ofValue[ofState] == popmachine.ValTrue
 		for _, q := range c.states {
 			if q == ofState {
 				continue

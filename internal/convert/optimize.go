@@ -1,0 +1,234 @@
+package convert
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/obs"
+	"repro/internal/popmachine"
+	"repro/internal/protocol"
+)
+
+// PipelineTag names the shrink pipeline version. It is recorded in every
+// OptReport and in the ppserved cache, so a warm hit can report which
+// pipeline produced the protocol it returned.
+const PipelineTag = "shrink-v1"
+
+// PassStat records one protocol-level pass's effect for the OptReport.
+type PassStat struct {
+	Pass               string `json:"pass"`
+	StatesRemoved      int    `json:"states_removed"`
+	TransitionsRemoved int    `json:"transitions_removed"`
+}
+
+// Budget is a point-in-time snapshot of the Prop. 14/16 state-budget
+// accounting for one machine and its conversion.
+type Budget struct {
+	// Instrs is L, the instruction count. The IP family contributes 3·L
+	// core states and the ⟨elect⟩ gadget ~9·L² transitions, so L is the
+	// dominant lever on both |Q| and |T|.
+	Instrs int `json:"instrs"`
+	// DomainSum is Σ_X |ℱ_X|.
+	DomainSum int `json:"domain_sum"`
+	// MachineSize is |Q| + |F| + Σ_X |ℱ_X| + |ℐ|, the Definition 6 size
+	// Prop. 14 bounds by O(program size).
+	MachineSize int `json:"machine_size"`
+	// Prop16Bound is |Q| + 7·Σ_X |ℱ_X| + L, Prop. 16's bound on |Q*|.
+	Prop16Bound int `json:"prop16_bound"`
+	// CoreStates is |Q*|, the core conversion's state count (must be ≤
+	// Prop16Bound; the golden accounting test pins both).
+	CoreStates int `json:"core_states"`
+	// States is the protocol state count: 2·|Q*| as converted; after the
+	// protocol passes, the actual surviving count.
+	States int `json:"states"`
+	// Transitions is |T|, or -1 when the protocol was not materialised
+	// (counting states needs no transition table; building one for large
+	// machines costs ~9·L² entries in ⟨elect⟩ alone).
+	Transitions int `json:"transitions"`
+}
+
+// budgetOf assembles the machine-side budget fields.
+func budgetOf(m *popmachine.Machine, coreStates, states, transitions int) Budget {
+	return Budget{
+		Instrs:      m.NumInstrs(),
+		DomainSum:   compile.DomainSum(m),
+		MachineSize: m.Size(),
+		Prop16Bound: len(m.Registers) + 7*compile.DomainSum(m) + m.NumInstrs(),
+		CoreStates:  coreStates,
+		States:      states,
+		Transitions: transitions,
+	}
+}
+
+// OptReport is the machine-readable account of one shrink-pipeline run:
+// what every pass removed and the Prop. 14/16 budgets before and after.
+// It is surfaced by `ppstate -opt-report`, the obs Opt counters, and the
+// ppserved cache.
+type OptReport struct {
+	// Name is the machine's name.
+	Name string `json:"name"`
+	// Pipeline is the PipelineTag of the pipeline that produced the
+	// report.
+	Pipeline string `json:"pipeline"`
+	// MachinePasses accounts the instruction-level passes (thread-jumps,
+	// goto-next, dead-store, unreachable, narrow-domains).
+	MachinePasses []compile.MachinePassStat `json:"machine_passes"`
+	// ProtocolPasses accounts the protocol-level passes (reduce,
+	// prune-silent, dedup). Empty for OptimizeStates.
+	ProtocolPasses []PassStat `json:"protocol_passes,omitempty"`
+	// Before is the unoptimized machine's budget, with States = 2·|Q*| as
+	// the plain conversion would emit them. Its Transitions field is -1
+	// unless MaterializeBaseline was called.
+	Before Budget `json:"before"`
+	// After is the optimized budget. On the Optimize path States and
+	// Transitions are the final protocol's actual counts; on the
+	// OptimizeStates path States is the as-converted 2·|Q*| and
+	// Transitions is -1.
+	After Budget `json:"after"`
+}
+
+// StatesRemoved returns Before.States − After.States.
+func (r *OptReport) StatesRemoved() int { return r.Before.States - r.After.States }
+
+// observe records the finished report on the obs Opt counters.
+func (r *OptReport) observe(elapsed time.Duration) {
+	om := obs.Opt()
+	if om == nil {
+		return
+	}
+	om.Runs.Inc()
+	for _, s := range r.MachinePasses {
+		if s.Pass == "narrow-domains" {
+			om.DomainValuesRemoved.Add(int64(s.Removed))
+		}
+	}
+	om.InstrsRemoved.Add(int64(r.Before.Instrs - r.After.Instrs))
+	om.StatesRemoved.Add(int64(r.StatesRemoved()))
+	for _, s := range r.ProtocolPasses {
+		om.TransitionsRemoved.Add(int64(s.TransitionsRemoved))
+	}
+	om.Nanos.Add(elapsed.Nanoseconds())
+}
+
+// Optimize runs the full shrink pipeline on machine m: the instruction-
+// level passes of compile.OptimizeMachine, the §7.3 conversion of the
+// shrunk machine, the support-closure reduction (protocol.Reduce), and
+// transition compaction (protocol.CompactTransitions). The input machine
+// is not mutated, and no pass removes a pointer, so the returned protocol
+// decides exactly the predicate of the plain conversion — φ'(m) ⟺
+// m ≥ |F| ∧ φ(m − |F|) with the same |F| — which the optimize tests pin by
+// exhaustive model checking against the unoptimized protocol.
+//
+// The returned Result describes the optimized conversion: Result.Protocol
+// is the final reduced+compacted protocol (named <machine>-protocol-opt),
+// Result.Core the shrunk machine's core, and Families/InputState etc. are
+// consistent with the final protocol's state indices.
+func Optimize(m *popmachine.Machine) (*Result, *OptReport, error) {
+	start := time.Now()
+	coreBefore, protoBefore, err := CountStates(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &OptReport{
+		Name:     m.Name,
+		Pipeline: PipelineTag,
+		Before:   budgetOf(m, coreBefore, protoBefore, -1),
+	}
+	opt, mstats, err := compile.OptimizeMachine(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.MachinePasses = mstats
+
+	res, err := Convert(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	built := res.Protocol
+	reduced, removedStates, err := protocol.Reduce(built)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.ProtocolPasses = append(report.ProtocolPasses, PassStat{
+		Pass:               "reduce",
+		StatesRemoved:      removedStates,
+		TransitionsRemoved: len(built.Transitions) - len(reduced.Transitions),
+	})
+	final, silent, dups, err := protocol.CompactTransitions(reduced)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.ProtocolPasses = append(report.ProtocolPasses,
+		PassStat{Pass: "prune-silent", TransitionsRemoved: silent},
+		PassStat{Pass: "dedup", TransitionsRemoved: dups},
+	)
+	final.Name = m.Name + "-protocol-opt"
+
+	// Re-key the family table to the final protocol's indices: its states
+	// are a subset of the as-built protocol's, under the same names.
+	families := make([]int, final.NumStates())
+	for i, name := range final.States {
+		old := built.StateIndex(name)
+		if old < 0 {
+			return nil, nil, fmt.Errorf("convert: optimize: state %q missing from the as-built protocol", name)
+		}
+		families[i] = res.families[old]
+	}
+	res.Protocol = final
+	res.families = families
+	report.After = budgetOf(opt, res.CoreStates, final.NumStates(), len(final.Transitions))
+	report.observe(time.Since(start))
+	return res, report, nil
+}
+
+// OptimizeStates runs only the machine-level passes and the state
+// *counting* of the conversion — no transition table is materialised, so
+// it is cheap even for machines whose full conversion would emit tens of
+// millions of ⟨elect⟩ transitions (Table 1's larger rows). The returned
+// report has Transitions = -1 on both sides and After.States = 2·|Q*| of
+// the shrunk machine as the plain conversion of it would emit them (the
+// support-closure reduction is not applied; it needs the transitions).
+func OptimizeStates(m *popmachine.Machine) (*popmachine.Machine, *OptReport, error) {
+	start := time.Now()
+	coreBefore, protoBefore, err := CountStates(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, mstats, err := compile.OptimizeMachine(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	coreAfter, protoAfter, err := CountStates(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &OptReport{
+		Name:          m.Name,
+		Pipeline:      PipelineTag,
+		MachinePasses: mstats,
+		Before:        budgetOf(m, coreBefore, protoBefore, -1),
+		After:         budgetOf(opt, coreAfter, protoAfter, -1),
+	}
+	report.observe(time.Since(start))
+	return opt, report, nil
+}
+
+// MaterializeBaseline fills Before.Transitions (and the post-reduction
+// baseline is deliberately NOT applied — Before reports the plain
+// conversion) by running the full unoptimized conversion of m. This is
+// exactly as expensive as the conversion the pipeline avoided; callers
+// opt in for before/after tables (ppstate -opt-full, the DESIGN.md
+// accounting).
+func (r *OptReport) MaterializeBaseline(m *popmachine.Machine) error {
+	if m.Name != r.Name {
+		return fmt.Errorf("convert: baseline machine %q does not match report %q", m.Name, r.Name)
+	}
+	res, err := Convert(m)
+	if err != nil {
+		return err
+	}
+	r.Before.States = res.Protocol.NumStates()
+	r.Before.Transitions = len(res.Protocol.Transitions)
+	return nil
+}

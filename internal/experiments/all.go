@@ -39,6 +39,11 @@ type Config struct {
 	// (protocol, topology) cell (defaults 16 / 2).
 	TopologyM    int64
 	TopologyRuns int
+	// ShrinkMaxN / ShrinkFullN bound E17: the largest construction level to
+	// shrink-and-count, and the largest level to fully materialise for
+	// before/after transition counts (defaults 4 / 1).
+	ShrinkMaxN  int
+	ShrinkFullN int
 	// ExploreWorkers is the frontier-expansion worker count handed to the
 	// parallel exact model checker for the exhaustive checks (E2's machine
 	// verification, E11's baseline verdicts). Zero means one worker per
@@ -74,6 +79,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TopologyRuns == 0 {
 		c.TopologyRuns = 2
+	}
+	if c.ShrinkMaxN == 0 {
+		c.ShrinkMaxN = 4
+		c.ShrinkFullN = 1
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -115,6 +124,7 @@ func All(cfg Config) ([]*Table, error) {
 		}},
 		{"reduction", Reduction},
 		{"inlining", func() (*Table, error) { return Inlining(8) }},
+		{"shrink", func() (*Table, error) { return Shrink(cfg.ShrinkMaxN, cfg.ShrinkFullN) }},
 	}
 	for _, s := range steps {
 		tbl, err := s.run()

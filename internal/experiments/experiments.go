@@ -9,6 +9,7 @@
 //	E9  Theorem 5  — program → machine → protocol size accounting
 //	E11 Theorem 2  — almost self-stabilisation vs 1-aware baselines
 //	E12 §1         — convergence cost under random pairing
+//	E17 shrink     — optimization-pipeline before/after accounting
 //
 // (E4/E5/E7/E8/E10 — the lowering figures and the per-procedure lemmas —
 // are machine-checked in the test suites of internal/compile,

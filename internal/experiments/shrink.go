@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/popprog"
+)
+
+// ShrinkReports runs the shrink pipeline (E17) over the Table 1 family and
+// returns one OptReport per target: the Figure 1 program followed by the
+// double-exponential construction for n = 1..maxN.
+//
+// Targets whose level is ≤ fullN (Figure 1 counts as level 1) run the full
+// pipeline — convert.Optimize plus a materialised unoptimized baseline — so
+// their reports carry actual before/after transition counts. The remaining
+// targets use the counting-only convert.OptimizeStates path, which is cheap
+// even where the full conversion would emit millions of ⟨elect⟩
+// transitions; their reports have Transitions = -1.
+func ShrinkReports(maxN, fullN int) ([]*convert.OptReport, error) {
+	if maxN < 1 {
+		return nil, fmt.Errorf("shrink: maxN must be ≥ 1, got %d", maxN)
+	}
+	type target struct {
+		level int
+		prog  *popprog.Program
+	}
+	targets := []target{{1, popprog.Figure1Program()}}
+	for n := 1; n <= maxN; n++ {
+		c, err := core.New(n)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, target{n, c.Program})
+	}
+	var reports []*convert.OptReport
+	for _, tg := range targets {
+		m, err := compile.Compile(tg.prog)
+		if err != nil {
+			return nil, err
+		}
+		var report *convert.OptReport
+		if tg.level <= fullN {
+			_, report, err = convert.Optimize(m)
+			if err == nil {
+				err = report.MaterializeBaseline(m)
+			}
+		} else {
+			_, report, err = convert.OptimizeStates(m)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shrink %s: %w", m.Name, err)
+		}
+		reports = append(reports, report)
+	}
+	return reports, nil
+}
+
+// Shrink renders E17: the shrink pipeline's before/after accounting over
+// the Table 1 family. Every cell is "before→after"; the final |Q| and |T|
+// columns are materialised only for the full-pipeline rows (level ≤ fullN)
+// and show "—" elsewhere.
+func Shrink(maxN, fullN int) (*Table, error) {
+	reports, err := ShrinkReports(maxN, fullN)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "E17 (shrink)",
+		Title: "state-space optimization pipeline, before→after",
+		Columns: []string{
+			"target", "L", "Σ|ℱ_X|", "size (Def. 6)", "2·|Q*|", "|Q| final", "|T|",
+		},
+		Notes: []string{
+			"machine passes: thread-jumps, goto-next, dead-store, unreachable, narrow-domains;",
+			"protocol passes (full rows only): support-closure reduce, prune-silent, dedup.",
+			fmt.Sprintf("rows up to level %d materialise protocols for the |Q|/|T| columns; '—' = counted only.", fullN),
+			"no pass removes a pointer, so |F| and the decided predicate are unchanged (pinned by the optimize tests).",
+		},
+	}
+	// ASCII arrow: Table.Render pads by byte width, so multibyte runes in
+	// cells would skew the column alignment.
+	arrow := func(before, after int) string { return fmt.Sprintf("%d->%d", before, after) }
+	for _, r := range reports {
+		qFinal, trans := "—", "—"
+		if r.After.Transitions >= 0 {
+			qFinal = arrow(r.Before.States, r.After.States)
+			trans = arrow(r.Before.Transitions, r.After.Transitions)
+		}
+		t.AddRow(
+			r.Name,
+			arrow(r.Before.Instrs, r.After.Instrs),
+			arrow(r.Before.DomainSum, r.After.DomainSum),
+			arrow(r.Before.MachineSize, r.After.MachineSize),
+			arrow(r.Before.States, convertedStates(r)),
+			qFinal,
+			trans,
+		)
+	}
+	return t, nil
+}
+
+// convertedStates returns the shrunk machine's as-converted protocol state
+// count (2·|Q*| after the machine passes, before the protocol passes). On
+// the counting-only path that is After.States itself; on the full path the
+// protocol passes' removals are added back.
+func convertedStates(r *convert.OptReport) int {
+	s := r.After.States
+	for _, p := range r.ProtocolPasses {
+		s += p.StatesRemoved
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/convert"
+)
+
+// The shrink golden tests pin the optimization pipeline's Prop. 14/16
+// accounting cell for cell, before and after. The budgets are functions of
+// the constructions and the passes alone — drift here means a construction,
+// the compiler, or an optimization pass changed behaviour. Update the
+// expectations only with an explanation of which pass legitimately changed.
+
+type budgetGold struct {
+	name                   string
+	instrs, domSum, size   int
+	prop16, core, states   int
+	oInstrs, oDom, oSize   int
+	oProp16, oCore, oState int
+}
+
+var shrinkGold = []budgetGold{
+	{"figure1-4<=x<7-machine", 126, 143, 283, 1130, 452, 904, 113, 130, 257, 1026, 413, 826},
+	{"czerner-threshold-n1-machine", 245, 282, 555, 2224, 902, 1804, 116, 152, 296, 1185, 495, 990},
+	{"czerner-threshold-n2-machine", 612, 713, 1373, 5612, 2251, 4502, 455, 555, 1058, 4349, 1775, 3550},
+	{"czerner-threshold-n3-machine", 987, 1156, 2211, 9092, 3636, 7272, 749, 917, 1734, 7181, 2917, 5834},
+	{"czerner-threshold-n4-machine", 1362, 1599, 3049, 12572, 5021, 10042, 1043, 1279, 2410, 10013, 4059, 8118},
+}
+
+func checkBudget(t *testing.T, name, side string, b convert.Budget, instrs, domSum, size, prop16, core, states int) {
+	t.Helper()
+	got := [6]int{b.Instrs, b.DomainSum, b.MachineSize, b.Prop16Bound, b.CoreStates, b.States}
+	want := [6]int{instrs, domSum, size, prop16, core, states}
+	if got != want {
+		t.Errorf("%s %s budget drifted:\n got L=%d Σ|F|=%d size=%d prop16=%d |Q*|=%d |Q|=%d\nwant L=%d Σ|F|=%d size=%d prop16=%d |Q*|=%d |Q|=%d",
+			name, side, got[0], got[1], got[2], got[3], got[4], got[5],
+			want[0], want[1], want[2], want[3], want[4], want[5])
+	}
+	// Prop. 16 invariant: |Q*| ≤ |Q| + 7·Σ|ℱ_X| + L, on both sides of the
+	// pipeline (the bound must survive every pass, not just hold as built).
+	if b.CoreStates > b.Prop16Bound {
+		t.Errorf("%s %s: |Q*| = %d exceeds the Prop. 16 bound %d", name, side, b.CoreStates, b.Prop16Bound)
+	}
+}
+
+// TestShrinkGolden pins the counting-only budgets (E17's cheap path) for
+// the Figure 1 program and construction levels 1–4.
+func TestShrinkGolden(t *testing.T) {
+	reports, err := ShrinkReports(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(shrinkGold) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(shrinkGold))
+	}
+	for i, r := range reports {
+		g := shrinkGold[i]
+		if r.Name != g.name {
+			t.Fatalf("report %d is %q, want %q", i, r.Name, g.name)
+		}
+		if r.Pipeline != convert.PipelineTag {
+			t.Errorf("%s: pipeline %q, want %q", r.Name, r.Pipeline, convert.PipelineTag)
+		}
+		checkBudget(t, g.name, "before", r.Before, g.instrs, g.domSum, g.size, g.prop16, g.core, g.states)
+		checkBudget(t, g.name, "after", r.After, g.oInstrs, g.oDom, g.oSize, g.oProp16, g.oCore, g.oState)
+		if r.Before.Transitions != -1 || r.After.Transitions != -1 {
+			t.Errorf("%s: counting-only report materialised transitions", r.Name)
+		}
+	}
+}
+
+// TestShrinkFullGolden pins the materialised before/after |Q| and |T| of
+// the full pipeline — plain conversion vs shrunk + reduced + compacted —
+// for Figure 1 and construction levels 1 and 2. The level-2 baseline emits
+// 14.5M transitions, hence the Short gate.
+func TestShrinkFullGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("materialises the level-2 baseline conversion (14.5M transitions)")
+	}
+	reports, err := ShrinkReports(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name                  string
+		states, transitions   int
+		oStates, oTransitions int
+	}{
+		{"figure1-4<=x<7-machine", 904, 645364, 492, 135940},
+		{"czerner-threshold-n1-machine", 1804, 2367216, 514, 92648},
+		{"czerner-threshold-n2-machine", 4502, 14519052, 1808, 1357756},
+	}
+	if len(reports) != len(want) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(want))
+	}
+	for i, r := range reports {
+		w := want[i]
+		if r.Name != w.name {
+			t.Fatalf("report %d is %q, want %q", i, r.Name, w.name)
+		}
+		got := [4]int{r.Before.States, r.Before.Transitions, r.After.States, r.After.Transitions}
+		if got != [4]int{w.states, w.transitions, w.oStates, w.oTransitions} {
+			t.Errorf("%s drifted: |Q| %d→%d |T| %d→%d, want |Q| %d→%d |T| %d→%d",
+				r.Name, got[0], got[2], got[1], got[3],
+				w.states, w.oStates, w.transitions, w.oTransitions)
+		}
+	}
+}

@@ -246,7 +246,7 @@ var (
 	}
 	// ckB5 is the 5th-order solution weight row; ckErr = b5 − b4 gives the
 	// embedded error estimate directly.
-	ckB5 = [6]float64{37.0 / 378, 0, 250.0 / 621, 125.0 / 594, 0, 512.0 / 1771}
+	ckB5  = [6]float64{37.0 / 378, 0, 250.0 / 621, 125.0 / 594, 0, 512.0 / 1771}
 	ckErr = [6]float64{
 		37.0/378 - 2825.0/27648,
 		0,

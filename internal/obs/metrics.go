@@ -116,6 +116,26 @@ type ServeMetrics struct {
 	StreamClients Counter
 }
 
+// OptMetrics instruments the convert.Optimize shrink pipeline.
+type OptMetrics struct {
+	// Runs counts shrink-pipeline executions (full Optimize and the
+	// counting-only OptimizeStates path alike).
+	Runs Counter
+	// InstrsRemoved / DomainValuesRemoved accumulate the machine-level
+	// pass totals (instructions dropped, pointer-domain values narrowed
+	// away) across runs.
+	InstrsRemoved       Counter
+	DomainValuesRemoved Counter
+	// StatesRemoved / TransitionsRemoved accumulate the protocol-level
+	// totals: states outside the support closure, plus silent and
+	// duplicate transitions compacted away. Counting-only runs contribute
+	// the as-converted state delta and no transitions.
+	StatesRemoved      Counter
+	TransitionsRemoved Counter
+	// Nanos accumulates wall time spent inside the pipeline.
+	Nanos Counter
+}
+
 // ExploreMetrics instruments internal/explore's engines and interner.
 type ExploreMetrics struct {
 	// Explorations counts Explore/ExploreContext invocations.
@@ -151,6 +171,7 @@ type Metrics struct {
 	sim     SimMetrics
 	explore ExploreMetrics
 	serve   ServeMetrics
+	opt     OptMetrics
 }
 
 // Sched returns the scheduler instrument group (nil when m is nil).
@@ -183,6 +204,14 @@ func (m *Metrics) Serve() *ServeMetrics {
 		return nil
 	}
 	return &m.serve
+}
+
+// Opt returns the shrink-pipeline instrument group (nil when m is nil).
+func (m *Metrics) Opt() *OptMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.opt
 }
 
 // current is the process-wide metric set; nil means telemetry is disabled
@@ -223,3 +252,7 @@ func Explore() *ExploreMetrics { return Current().Explore() }
 
 // Serve returns the current server instrument group (nil when disabled).
 func Serve() *ServeMetrics { return Current().Serve() }
+
+// Opt returns the current shrink-pipeline instrument group (nil when
+// disabled).
+func Opt() *OptMetrics { return Current().Opt() }

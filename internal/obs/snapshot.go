@@ -89,6 +89,16 @@ type ServeSnap struct {
 	StreamClients  int64 `json:"stream_clients"`
 }
 
+// OptSnap is the frozen shrink-pipeline group.
+type OptSnap struct {
+	Runs                int64 `json:"runs"`
+	InstrsRemoved       int64 `json:"instrs_removed"`
+	DomainValuesRemoved int64 `json:"domain_values_removed"`
+	StatesRemoved       int64 `json:"states_removed"`
+	TransitionsRemoved  int64 `json:"transitions_removed"`
+	Nanos               int64 `json:"nanos"`
+}
+
 // Snap is a point-in-time copy of every instrument, as plain data. It is
 // what -metrics prints and what /debug/vars exposes.
 type Snap struct {
@@ -96,6 +106,7 @@ type Snap struct {
 	Sim     SimSnap     `json:"sim"`
 	Explore ExploreSnap `json:"explore"`
 	Serve   ServeSnap   `json:"serve"`
+	Opt     OptSnap     `json:"opt"`
 }
 
 // Snapshot freezes m. Safe to call concurrently with live instrumentation;
@@ -167,6 +178,14 @@ func (m *Metrics) Snapshot() Snap {
 		ConvertNanos:   m.serve.ConvertNanos.Load(),
 		JobsResumed:    m.serve.JobsResumed.Load(),
 		StreamClients:  m.serve.StreamClients.Load(),
+	}
+	s.Opt = OptSnap{
+		Runs:                m.opt.Runs.Load(),
+		InstrsRemoved:       m.opt.InstrsRemoved.Load(),
+		DomainValuesRemoved: m.opt.DomainValuesRemoved.Load(),
+		StatesRemoved:       m.opt.StatesRemoved.Load(),
+		TransitionsRemoved:  m.opt.TransitionsRemoved.Load(),
+		Nanos:               m.opt.Nanos.Load(),
 	}
 	return s
 }

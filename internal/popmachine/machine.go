@@ -108,6 +108,42 @@ type Machine struct {
 // NumInstrs returns L.
 func (m *Machine) NumInstrs() int { return len(m.Instrs) }
 
+// Clone returns a deep copy of the machine: pointers, domains and
+// assignment function tables are all fresh, so transforming passes (the
+// shrink pipeline in internal/compile) can rewrite the copy without
+// aliasing the original.
+func (m *Machine) Clone() *Machine {
+	out := &Machine{
+		Name:      m.Name,
+		Registers: append([]string(nil), m.Registers...),
+		Pointers:  make([]*Pointer, len(m.Pointers)),
+		Instrs:    make([]Instr, len(m.Instrs)),
+		OF:        m.OF, CF: m.CF, IP: m.IP,
+		VReg: append([]int(nil), m.VReg...),
+		VBox: m.VBox,
+	}
+	for i, p := range m.Pointers {
+		out.Pointers[i] = &Pointer{
+			Name:    p.Name,
+			Domain:  append([]int(nil), p.Domain...),
+			Initial: p.Initial,
+		}
+	}
+	for i, in := range m.Instrs {
+		if a, ok := in.(AssignInstr); ok {
+			f := make(map[int]int, len(a.F))
+			for k, v := range a.F {
+				f[k] = v
+			}
+			a.F = f
+			out.Instrs[i] = a
+		} else {
+			out.Instrs[i] = in
+		}
+	}
+	return out
+}
+
 // Size returns |Q| + |F| + Σ_X |ℱ_X| + |ℐ| (Definition 6).
 func (m *Machine) Size() int {
 	total := len(m.Registers) + len(m.Pointers) + len(m.Instrs)

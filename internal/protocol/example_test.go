@@ -1,0 +1,47 @@
+package protocol_test
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// ExampleNewBuilder assembles the classic two-state x ≥ 1 protocol: one
+// witness converts everyone it meets.
+func ExampleNewBuilder() {
+	b := protocol.NewBuilder("ge1")
+	b.Input("x")
+	b.Accepting("x")
+	b.Transition("x", "zero", "x", "x")
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("states: %d, transitions: %d\n", p.NumStates(), len(p.Transitions))
+	// Output:
+	// states: 2, transitions: 1
+}
+
+// ExampleCompactTransitions removes silent and duplicate transitions. The
+// step relation is preserved exactly, but stable consensus configurations
+// may become terminal — see the function's scheduler-law caveat before
+// using the compacted protocol under a uniform scheduler.
+func ExampleCompactTransitions() {
+	b := protocol.NewBuilder("noisy")
+	b.Input("a")
+	b.Transition("a", "a", "b", "a") // real
+	b.Transition("a", "a", "b", "a") // duplicate
+	b.Transition("b", "a", "a", "b") // silent (swap)
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	out, silent, dups, err := protocol.CompactTransitions(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("kept %d of %d (silent %d, duplicates %d)\n",
+		len(out.Transitions), len(p.Transitions), silent, dups)
+	// Output:
+	// kept 1 of 3 (silent 1, duplicates 1)
+}

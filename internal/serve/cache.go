@@ -13,7 +13,11 @@ import (
 
 // Cache is an LRU cache of §7 compile→convert results, keyed by the
 // program's canonical hash (a content address over the canonical source
-// rendering, so formatting and comments don't fragment the cache).
+// rendering, so formatting and comments don't fragment the cache). A
+// shrink-pipeline conversion is a different pure function of the program,
+// so it lives under the ":opt"-suffixed key — plain and optimized results
+// never alias — and the entry carries its OptReport, so a warm hit can
+// report which pipeline produced the protocol it returned.
 //
 // Soundness: a hit must return exactly the protocol a fresh conversion
 // would have built. The canonical hash is blind to original spellings of
@@ -41,7 +45,9 @@ type cacheItem struct {
 type cacheEntry struct {
 	once sync.Once
 	res  *convert.Result
-	err  error
+	// report is the shrink pipeline's accounting; nil for plain conversions.
+	report *convert.OptReport
+	err    error
 }
 
 // NewCache returns a cache holding at most max conversions (min 1).
@@ -53,9 +59,15 @@ func NewCache(max int) *Cache {
 }
 
 // Convert returns the §7 conversion of prog, computing and caching it on
-// first use. The returned key is the program's canonical hash.
-func (c *Cache) Convert(prog *popprog.Program) (*convert.Result, string, error) {
+// first use. With optimize set it runs the shrink pipeline
+// (convert.Optimize) instead and additionally returns its OptReport. The
+// returned key is the program's canonical hash, ":opt"-suffixed for
+// optimized conversions.
+func (c *Cache) Convert(prog *popprog.Program, optimize bool) (*convert.Result, *convert.OptReport, string, error) {
 	key := prog.CanonicalHash()
+	if optimize {
+		key += ":opt"
+	}
 	met := obs.Serve()
 
 	c.mu.Lock()
@@ -97,13 +109,17 @@ func (c *Cache) Convert(prog *popprog.Program) (*convert.Result, string, error) 
 			e.err = err
 			return
 		}
-		e.res, e.err = convert.Convert(m)
+		if optimize {
+			e.res, e.report, e.err = convert.Optimize(m)
+		} else {
+			e.res, e.err = convert.Convert(m)
+		}
 		if met != nil {
 			met.Conversions.Inc()
 			met.ConvertNanos.Add(time.Since(t0).Nanoseconds())
 		}
 	})
-	return e.res, key, e.err
+	return e.res, e.report, key, e.err
 }
 
 // Len reports the number of cached conversions (including in-flight ones).

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/convert"
 	"repro/internal/obs"
 	"repro/internal/popprog"
 )
@@ -96,6 +97,88 @@ func TestCacheDifferential(t *testing.T) {
 	}
 }
 
+// TestCacheOptimize pins the shrink-pipeline cache path: optimized
+// conversions live under their own ":opt"-suffixed key (so they never alias
+// the plain conversion), a warm hit returns the byte-identical result
+// document including the stored OptReport, and the report shows an actual
+// shrink.
+func TestCacheOptimize(t *testing.T) {
+	met := obs.Enable()
+	defer obs.Disable()
+
+	s, ts := newTestServer(t, Config{Workers: 1})
+	submit := func(spec JobSpec) *Job {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := waitTerminal(t, ts.URL, j.ID)
+		if done.Status != StatusDone {
+			t.Fatalf("job %s finished %s (%s)", j.ID, done.Status, done.Error)
+		}
+		return done
+	}
+	base := JobSpec{Kind: KindSimulate, Input: []int64{9}, Runs: 2, Seed: 3}
+
+	plainSpec := base
+	plainSpec.Program = cacheTestSrc
+	plain := submit(plainSpec)
+
+	optSpec := plainSpec
+	optSpec.Optimize = true
+	cold := submit(optSpec)
+	if cold.CacheKey != plain.CacheKey+":opt" {
+		t.Fatalf("optimized key %q does not extend plain key %q", cold.CacheKey, plain.CacheKey)
+	}
+	if n := met.Serve().Conversions.Load(); n != 2 {
+		t.Fatalf("plain + optimized submissions ran %d conversions, want 2", n)
+	}
+
+	warmSpec := base
+	warmSpec.Program = cacheTestSrcReformatted
+	warmSpec.Optimize = true
+	warm := submit(warmSpec)
+	if n := met.Serve().Conversions.Load(); n != 2 {
+		t.Fatalf("warm optimized submission reconverted (total %d)", n)
+	}
+	if !bytes.Equal(cold.Result, warm.Result) {
+		t.Fatalf("cold and warm optimized results differ:\n%s\nvs\n%s", cold.Result, warm.Result)
+	}
+
+	var res simulateResult
+	if err := json.Unmarshal(warm.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Convert == nil || res.Convert.Pipeline != convert.PipelineTag || res.Convert.Opt == nil {
+		t.Fatalf("optimized result lacks pipeline accounting: %s", warm.Result)
+	}
+	r := res.Convert.Opt
+	if r.After.States >= r.Before.States || r.After.Transitions < 0 {
+		t.Fatalf("report shows no shrink: before %+v after %+v", r.Before, r.After)
+	}
+
+	var plainRes simulateResult
+	if err := json.Unmarshal(plain.Result, &plainRes); err != nil {
+		t.Fatal(err)
+	}
+	if plainRes.Convert == nil || plainRes.Convert.Pipeline != "" || plainRes.Convert.Opt != nil {
+		t.Fatalf("plain result carries pipeline accounting: %s", plain.Result)
+	}
+}
+
+// TestOptimizeSpecValidation pins that optimize is rejected for protocol
+// targets: there is no §7 conversion to shrink.
+func TestOptimizeSpecValidation(t *testing.T) {
+	bad := JobSpec{Kind: KindSimulate, Target: "majority", Input: []int64{3, 2}, Optimize: true}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("optimize on a protocol target validated")
+	}
+	ok := JobSpec{Kind: KindSimulate, Target: "figure1", Input: []int64{5}, Optimize: true}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("optimize on figure1 rejected: %v", err)
+	}
+}
+
 // TestCacheSingleflight pins that concurrent conversions of the same
 // program share one §7 run.
 func TestCacheSingleflight(t *testing.T) {
@@ -112,7 +195,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, _, err := c.Convert(prog); err != nil {
+			if _, _, _, err := c.Convert(prog, false); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -147,7 +230,7 @@ func TestCacheEviction(t *testing.T) {
 	}
 	c := NewCache(2)
 	for _, p := range progs { // fill: a, b, then c evicts a
-		if _, _, err := c.Convert(p); err != nil {
+		if _, _, _, err := c.Convert(p, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -158,7 +241,7 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatalf("cache holds %d entries, want 2", c.Len())
 	}
 	before := met.Serve().Conversions.Load()
-	if _, _, err := c.Convert(progs[0]); err != nil { // evicted: converts again
+	if _, _, _, err := c.Convert(progs[0], false); err != nil { // evicted: converts again
 		t.Fatal(err)
 	}
 	if after := met.Serve().Conversions.Load(); after != before+1 {

@@ -55,6 +55,13 @@ type JobSpec struct {
 	// Program is inline population-program source; converted via §7 with
 	// cache, keyed by the source's canonical hash.
 	Program string `json:"program,omitempty"`
+	// Optimize runs program conversions through the shrink pipeline
+	// (convert.Optimize) instead of the plain §7 conversion: same decided
+	// predicate, fewer states and transitions. Optimized conversions are
+	// cached under their own ":opt"-suffixed key, and the result document's
+	// convert section reports the pipeline tag and full OptReport. Only
+	// valid for program targets.
+	Optimize bool `json:"optimize,omitempty"`
 	// Input is the input-count vector (simulate, explore).
 	Input []int64 `json:"input,omitempty"`
 	// Inputs is the list of input-count vectors of a sweep.
@@ -203,8 +210,18 @@ func (s *JobSpec) Validate() error {
 		if _, err := popprog.Parse(s.Program); err != nil {
 			return fmt.Errorf("program: %w", err)
 		}
-	} else if _, _, err := splitTarget(s.Target); err != nil {
-		return err
+	} else {
+		name, _, err := splitTarget(s.Target)
+		if err != nil {
+			return err
+		}
+		if s.Optimize {
+			switch name {
+			case "figure1", "czerner", "equality":
+			default:
+				return fmt.Errorf("optimize applies only to program targets (inline programs, figure1, czerner:n, equality:n), not %q", s.Target)
+			}
+		}
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/convert"
 	"repro/internal/explore"
 	"repro/internal/multiset"
 	"repro/internal/obs"
@@ -323,7 +324,7 @@ func (s *Server) execute(ctx context.Context, j *Job) (json.RawMessage, string, 
 	var cacheKey string
 	var conv *convertInfo
 	if p == nil {
-		res, key, err := s.cache.Convert(r.prog)
+		res, report, key, err := s.cache.Convert(r.prog, spec.Optimize)
 		if err != nil {
 			return nil, key, err
 		}
@@ -332,6 +333,10 @@ func (s *Server) execute(ctx context.Context, j *Job) (json.RawMessage, string, 
 		conv = &convertInfo{
 			NumPointers: res.NumPointers,
 			CoreStates:  res.CoreStates,
+		}
+		if report != nil {
+			conv.Pipeline = report.Pipeline
+			conv.Opt = report
 		}
 	}
 	expected := spec.expectedFn(r)
@@ -423,9 +428,13 @@ func protoInfo(p *protocol.Protocol) protocolInfo {
 }
 
 // convertInfo reports the §7 conversion accounting for program submissions.
+// Pipeline and Opt are present iff the job requested the shrink pipeline;
+// warm cache hits carry them too (the report is stored with the entry).
 type convertInfo struct {
-	NumPointers int `json:"num_pointers"`
-	CoreStates  int `json:"core_states"`
+	NumPointers int                `json:"num_pointers"`
+	CoreStates  int                `json:"core_states"`
+	Pipeline    string             `json:"pipeline,omitempty"`
+	Opt         *convert.OptReport `json:"opt,omitempty"`
 }
 
 type simulateResult struct {

@@ -34,7 +34,7 @@ func SweepPointSeed(seed int64, idx int) int64 {
 // torn file: after a crash the checkpoint holds exactly the points of some
 // prefix of completions.
 type SweepCheckpoint struct {
-	Version int               `json:"version"`
+	Version int `json:"version"`
 	// Key identifies the sweep spec; a caller-chosen string (the serve
 	// package uses a hash of the job spec). Resuming with a different key
 	// is an error — a checkpoint must never leak between sweeps.

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# docs_health.sh — CI docs-health gate.
+#
+# Checks, in order:
+#   1. every relative markdown link in the repo's *.md files resolves to an
+#      existing file or directory (external http(s)/mailto links and pure
+#      #anchors are skipped);
+#   2. gofmt -l reports no unformatted files;
+#   3. go vet ./... is clean.
+#
+# Run from anywhere inside the repo; exits non-zero on the first category
+# of failure with a list of offenders.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative markdown links -------------------------------------------
+# Find *.md outside .git; extract ](target) occurrences; keep relative ones.
+while IFS= read -r md; do
+    dir=$(dirname "$md")
+    # grep -o keeps one match per line even with several links on a line.
+    while IFS= read -r raw; do
+        target=${raw#](}
+        target=${target%)}
+        case "$target" in
+        http://* | https://* | mailto:* | "#"*) continue ;;
+        esac
+        target=${target%%#*} # strip in-file anchor
+        [ -z "$target" ] && continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "broken link: $md -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$md" 2>/dev/null || true)
+done < <(find . -path ./.git -prune -o -name '*.md' -print)
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs_health: broken markdown links" >&2
+    exit 1
+fi
+echo "docs_health: markdown links OK"
+
+# --- 2. gofmt --------------------------------------------------------------
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "docs_health: unformatted Go files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "docs_health: gofmt OK"
+
+# --- 3. go vet -------------------------------------------------------------
+if ! go vet ./...; then
+    echo "docs_health: go vet failed" >&2
+    exit 1
+fi
+echo "docs_health: go vet OK"
