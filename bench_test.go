@@ -36,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/multiset"
+	"repro/internal/obs"
 	"repro/internal/popmachine"
 	"repro/internal/popprog"
 	"repro/internal/protocol"
@@ -185,7 +186,10 @@ func BenchmarkConvertPipeline(b *testing.B) {
 
 // BenchmarkShrinkPipeline runs E17's counting path — the machine-level
 // optimization passes plus state counting, no transition table — per
-// construction level.
+// construction level. The removal metrics are read back from the `opt`
+// obs group, so the benchmark record (BENCH_simulate.json via
+// scripts/bench.sh) doubles as a regression trap for the pipeline's
+// instrumented state/instruction removal totals.
 func BenchmarkShrinkPipeline(b *testing.B) {
 	for n := 1; n <= 4; n++ {
 		c, err := core.New(n)
@@ -194,19 +198,21 @@ func BenchmarkShrinkPipeline(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
-			var removed int
+			met := obs.Enable()
+			defer obs.Disable()
 			for i := 0; i < b.N; i++ {
 				m, err := compile.Compile(c.Program)
 				if err != nil {
 					b.Fatal(err)
 				}
-				_, report, err := convert.OptimizeStates(m)
-				if err != nil {
+				if _, _, err := convert.OptimizeStates(m); err != nil {
 					b.Fatal(err)
 				}
-				removed = report.StatesRemoved()
 			}
-			b.ReportMetric(float64(removed), "states-removed")
+			o, div := met.Opt(), float64(b.N)
+			b.ReportMetric(float64(o.StatesRemoved.Load())/div, "states-removed")
+			b.ReportMetric(float64(o.InstrsRemoved.Load())/div, "instrs-removed")
+			b.ReportMetric(float64(o.DomainValuesRemoved.Load())/div, "domain-values-removed")
 		})
 	}
 }
@@ -221,6 +227,8 @@ func BenchmarkShrinkConvert(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
+	met := obs.Enable()
+	defer obs.Disable()
 	for i := 0; i < b.N; i++ {
 		res, _, err := convert.Optimize(machine)
 		if err != nil {
@@ -228,6 +236,9 @@ func BenchmarkShrinkConvert(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(res.Protocol.Transitions)), "transitions")
 	}
+	o, div := met.Opt(), float64(b.N)
+	b.ReportMetric(float64(o.StatesRemoved.Load())/div, "states-removed")
+	b.ReportMetric(float64(o.TransitionsRemoved.Load())/div, "transitions-removed")
 }
 
 // BenchmarkShrinkExplore re-runs the exact explorer over the x ≥ 1 protocol

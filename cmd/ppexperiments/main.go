@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ppexperiments [-markdown] [-quick] [-seed N] [-batch N] [-kernel K] [-workers W]
-//	              [-explore-workers W] [-topology-m M]
+//	              [-explore-workers W] [-mem-budget B] [-spill-dir DIR] [-topology-m M]
 //	              [-metrics] [-metrics-interval D] [-pprof ADDR]
 //
 // -quick shrinks every sweep to its smallest meaningful size (useful for
@@ -15,7 +15,10 @@
 // ppsim). -explore-workers
 // sets the frontier-expansion worker count of the parallel model checker
 // used by the exhaustive checks (0 = one per CPU); every table is
-// bit-identical for any value. -topology-m sizes the population of the
+// bit-identical for any value. -mem-budget caps the checker's resident
+// bytes — beyond it the interner key log and frontier spill to -spill-dir
+// (default the system temp directory) and are streamed back, still
+// bit-identically (0 = all in RAM). -topology-m sizes the population of the
 // topology-convergence sweep (E16).
 //
 // Telemetry: -metrics prints a JSON snapshot of the scheduler, runner and
@@ -70,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"worker goroutines for the convergence experiment's runs")
 	exploreWorkers := fs.Int("explore-workers", 0,
 		"frontier-expansion workers for the exhaustive model checks (0 = one per CPU)")
+	memBudget := fs.Int64("mem-budget", 0,
+		"resident-byte budget for the exhaustive model checks; spill to disk beyond it (0 = all in RAM)")
+	spillDir := fs.String("spill-dir", "",
+		"directory for explorer spill files (default the system temp directory)")
 	topologyM := fs.Int64("topology-m", 0,
 		"population size for the topology-convergence experiment (0 = default 16)")
 	telemetry := obsflag.Register(fs)
@@ -89,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usageErr(fmt.Errorf("-batch must be ≥ 0, got %d", *batch))
 	case *exploreWorkers < 0:
 		return usageErr(fmt.Errorf("-explore-workers must be ≥ 0, got %d", *exploreWorkers))
+	case *memBudget < 0:
+		return usageErr(fmt.Errorf("-mem-budget must be ≥ 0, got %d", *memBudget))
 	case *topologyM < 0:
 		return usageErr(fmt.Errorf("-topology-m must be ≥ 0, got %d", *topologyM))
 	case !validKernel(*kernel):
@@ -120,6 +129,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.ConvergenceWorkers = *workers
 	cfg.ConvergenceKernel = *kernel
 	cfg.ExploreWorkers = *exploreWorkers
+	cfg.ExploreMemBudget = *memBudget
+	cfg.ExploreSpillDir = *spillDir
 	cfg.TopologyM = *topologyM
 
 	tables, err := experiments.All(cfg)

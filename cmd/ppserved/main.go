@@ -2,8 +2,14 @@
 // HTTP/JSON: submit simulate/sweep/explore jobs against built-in targets or
 // inline population-program source, poll their status, stream progress and
 // telemetry, and fetch results. Program submissions share a
-// content-addressed cache of §7 compile→convert results; sweep jobs with a
-// checkpoint name survive restarts and resume bit-identically.
+// content-addressed cache of §7 compile→convert results — persisted under
+// -state-dir, so a restarted server boots warm and serves byte-identical
+// results without reconverting; sweep jobs with a checkpoint name survive
+// restarts and resume bit-identically. Explore jobs accept a "mem_budget"
+// byte cap in their spec: beyond it the explorer spills interned keys and
+// frontier levels to <state-dir>/spill (cleaned up per job) and streams
+// them back, bit-identically, so exhaustive verification jobs can exceed
+// RAM.
 //
 // Usage:
 //

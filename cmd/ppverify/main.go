@@ -7,12 +7,19 @@
 //
 //	ppverify [-max-agents N]
 //	         [-targets majority,unary,binary,remainder,product,figure1,czerner1,equality1]
+//	         [-mem-budget B] [-spill-dir DIR]
 //	         [-metrics] [-metrics-interval D] [-pprof ADDR]
 //
-// -metrics prints a JSON telemetry snapshot (exploration levels, frontier
-// widths, states/sec, interner occupancy) to stderr on exit;
-// -metrics-interval emits periodic snapshot lines while a verification is
-// running; -pprof serves net/http/pprof and expvar for live profiling.
+// -mem-budget caps the resident bytes of the explorer's variable-size
+// structures (interner key log + frontier); beyond it sealed segments and
+// frontier overflow spill to -spill-dir (default the system temp directory)
+// and are streamed back, so verification scales to state spaces far beyond
+// RAM. Results — verdicts, witnesses, error points — are bit-identical to
+// the all-RAM run for any budget. -metrics prints a JSON telemetry snapshot
+// (exploration levels, frontier widths, states/sec, interner occupancy,
+// spill volume) to stderr on exit; -metrics-interval emits periodic
+// snapshot lines while a verification is running; -pprof serves
+// net/http/pprof and expvar for live profiling.
 package main
 
 import (
@@ -45,8 +52,16 @@ func run() error {
 	maxAgents := flag.Int64("max-agents", 5, "largest population size to verify exhaustively")
 	targets := flag.String("targets", "majority,unary,binary,remainder,product,figure1,czerner1,equality1",
 		"comma-separated verification targets")
+	memBudget := flag.Int64("mem-budget", 0,
+		"resident-byte budget for exploration; spill to disk beyond it (0 = all in RAM)")
+	spillDir := flag.String("spill-dir", "",
+		"directory for explorer spill files (default the system temp directory)")
 	telemetry := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+	if *memBudget < 0 {
+		return fmt.Errorf("-mem-budget must be ≥ 0, got %d", *memBudget)
+	}
+	exOpts := explore.Options{MemBudget: *memBudget, SpillDir: *spillDir}
 
 	stopTelemetry, err := telemetry.Start(os.Stderr)
 	if err != nil {
@@ -60,21 +75,21 @@ func run() error {
 		var err error
 		switch target {
 		case "majority":
-			err = verifyMajority(*maxAgents)
+			err = verifyMajority(*maxAgents, exOpts)
 		case "unary":
-			err = verifyUnary(*maxAgents)
+			err = verifyUnary(*maxAgents, exOpts)
 		case "binary":
-			err = verifyBinary(*maxAgents)
+			err = verifyBinary(*maxAgents, exOpts)
 		case "remainder":
-			err = verifyRemainder(*maxAgents)
+			err = verifyRemainder(*maxAgents, exOpts)
 		case "product":
-			err = verifyProduct(*maxAgents)
+			err = verifyProduct(*maxAgents, exOpts)
 		case "figure1":
-			err = verifyFigure1(*maxAgents)
+			err = verifyFigure1(*maxAgents, exOpts)
 		case "czerner1":
-			err = verifyCzernerN1(*maxAgents)
+			err = verifyCzernerN1(*maxAgents, exOpts)
 		case "equality1":
-			err = verifyEqualityN1(*maxAgents)
+			err = verifyEqualityN1(*maxAgents, exOpts)
 		default:
 			return fmt.Errorf("unknown target %q", target)
 		}
@@ -88,35 +103,35 @@ func run() error {
 	return nil
 }
 
-func verifyMajority(maxAgents int64) error {
+func verifyMajority(maxAgents int64, opts explore.Options) error {
 	p, err := baseline.Majority()
 	if err != nil {
 		return err
 	}
-	return explore.CheckDecidesParallel(p, baseline.MajorityPredicate, 1, maxAgents, runtime.NumCPU(), explore.Options{})
+	return explore.CheckDecidesParallel(p, baseline.MajorityPredicate, 1, maxAgents, runtime.NumCPU(), opts)
 }
 
-func verifyUnary(maxAgents int64) error {
+func verifyUnary(maxAgents int64, opts explore.Options) error {
 	for k := int64(1); k <= 4; k++ {
 		p, err := baseline.UnaryThreshold(k)
 		if err != nil {
 			return err
 		}
-		if err := explore.CheckDecidesParallel(p, baseline.ThresholdPredicate(k), 1, maxAgents, runtime.NumCPU(), explore.Options{}); err != nil {
+		if err := explore.CheckDecidesParallel(p, baseline.ThresholdPredicate(k), 1, maxAgents, runtime.NumCPU(), opts); err != nil {
 			return fmt.Errorf("k=%d: %w", k, err)
 		}
 	}
 	return nil
 }
 
-func verifyBinary(maxAgents int64) error {
+func verifyBinary(maxAgents int64, opts explore.Options) error {
 	for j := 0; j <= 2; j++ {
 		p, err := baseline.BinaryThreshold(j)
 		if err != nil {
 			return err
 		}
 		k := int64(1) << uint(j)
-		if err := explore.CheckDecidesParallel(p, baseline.ThresholdPredicate(k), 1, maxAgents, runtime.NumCPU(), explore.Options{}); err != nil {
+		if err := explore.CheckDecidesParallel(p, baseline.ThresholdPredicate(k), 1, maxAgents, runtime.NumCPU(), opts); err != nil {
 			return fmt.Errorf("j=%d: %w", j, err)
 		}
 	}
@@ -125,9 +140,11 @@ func verifyBinary(maxAgents int64) error {
 
 // verifyMachineThreshold model-checks a compiled program: for every
 // placement of every total ≤ maxAgents, all fair runs stabilise to
-// pred(total).
-func verifyMachineThreshold(m *popmachine.Machine, pred func(int64) bool, maxAgents int64) error {
+// pred(total). It runs on the parallel engine so a -mem-budget takes
+// effect; results are bit-identical for any worker count and budget.
+func verifyMachineThreshold(m *popmachine.Machine, pred func(int64) bool, maxAgents int64, opts explore.Options) error {
 	sys := popmachine.System{M: m}
+	opts.MaxStates = 8_000_000
 	for total := int64(1); total <= maxAgents; total++ {
 		want := pred(total)
 		var initial []*popmachine.Config
@@ -143,8 +160,7 @@ func verifyMachineThreshold(m *popmachine.Machine, pred func(int64) bool, maxAge
 		if buildErr != nil {
 			return buildErr
 		}
-		res, err := explore.Explore[*popmachine.Config](sys, initial,
-			explore.Options{MaxStates: 8_000_000})
+		res, err := explore.ExploreParallel[*popmachine.Config](sys, initial, opts)
 		if err != nil {
 			return fmt.Errorf("total=%d: %w", total, err)
 		}
@@ -155,15 +171,15 @@ func verifyMachineThreshold(m *popmachine.Machine, pred func(int64) bool, maxAge
 	return nil
 }
 
-func verifyFigure1(maxAgents int64) error {
+func verifyFigure1(maxAgents int64, opts explore.Options) error {
 	m, err := compile.Compile(popprog.Figure1Program())
 	if err != nil {
 		return err
 	}
-	return verifyMachineThreshold(m, func(t int64) bool { return t >= 4 && t < 7 }, maxAgents)
+	return verifyMachineThreshold(m, func(t int64) bool { return t >= 4 && t < 7 }, maxAgents, opts)
 }
 
-func verifyCzernerN1(maxAgents int64) error {
+func verifyCzernerN1(maxAgents int64, opts explore.Options) error {
 	c, err := core.New(1)
 	if err != nil {
 		return err
@@ -172,10 +188,10 @@ func verifyCzernerN1(maxAgents int64) error {
 	if err != nil {
 		return err
 	}
-	return verifyMachineThreshold(m, func(t int64) bool { return t >= 2 }, maxAgents)
+	return verifyMachineThreshold(m, func(t int64) bool { return t >= 2 }, maxAgents, opts)
 }
 
-func verifyEqualityN1(maxAgents int64) error {
+func verifyEqualityN1(maxAgents int64, opts explore.Options) error {
 	c, err := core.NewEquality(1)
 	if err != nil {
 		return err
@@ -184,24 +200,24 @@ func verifyEqualityN1(maxAgents int64) error {
 	if err != nil {
 		return err
 	}
-	return verifyMachineThreshold(m, func(t int64) bool { return t == 2 }, maxAgents)
+	return verifyMachineThreshold(m, func(t int64) bool { return t == 2 }, maxAgents, opts)
 }
 
-func verifyRemainder(maxAgents int64) error {
+func verifyRemainder(maxAgents int64, opts explore.Options) error {
 	for _, spec := range []struct{ m, r int64 }{{2, 0}, {3, 1}} {
 		p, err := baseline.Remainder(spec.m, spec.r)
 		if err != nil {
 			return err
 		}
 		if err := explore.CheckDecides(p, baseline.RemainderPredicate(spec.m, spec.r),
-			1, maxAgents, explore.Options{}); err != nil {
+			1, maxAgents, opts); err != nil {
 			return fmt.Errorf("x ≡ %d (mod %d): %w", spec.r, spec.m, err)
 		}
 	}
 	return nil
 }
 
-func verifyProduct(maxAgents int64) error {
+func verifyProduct(maxAgents int64, opts explore.Options) error {
 	th, err := baseline.UnaryThreshold(3)
 	if err != nil {
 		return err
@@ -216,5 +232,5 @@ func verifyProduct(maxAgents int64) error {
 	}
 	pred := protocol.ProductPredicate(
 		baseline.ThresholdPredicate(3), baseline.RemainderPredicate(2, 0), protocol.OpAnd)
-	return explore.CheckDecidesParallel(prod, pred, 1, maxAgents, runtime.NumCPU(), explore.Options{})
+	return explore.CheckDecidesParallel(prod, pred, 1, maxAgents, runtime.NumCPU(), opts)
 }

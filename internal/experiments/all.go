@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/explore"
 )
 
 // Config selects experiment scope; the zero value runs the fast defaults
@@ -49,6 +51,14 @@ type Config struct {
 	// verification, E11's baseline verdicts). Zero means one worker per
 	// available CPU; results are bit-identical for any value.
 	ExploreWorkers int
+	// ExploreMemBudget caps the resident bytes of the exact model checker's
+	// variable-size structures (interner key log + frontier); beyond it the
+	// explorer spills to ExploreSpillDir. Zero keeps everything in RAM.
+	// Results are bit-identical for any budget.
+	ExploreMemBudget int64
+	// ExploreSpillDir is the directory for the explorer's spill files when
+	// ExploreMemBudget forces out-of-core operation (empty = os.TempDir()).
+	ExploreSpillDir string
 	// Seed seeds the randomised experiments.
 	Seed int64
 }
@@ -93,6 +103,11 @@ func (c Config) withDefaults() Config {
 // All runs every experiment and returns the tables in report order.
 func All(cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
+	exOpts := explore.Options{
+		Workers:   cfg.ExploreWorkers,
+		MemBudget: cfg.ExploreMemBudget,
+		SpillDir:  cfg.ExploreSpillDir,
+	}
 	var tables []*Table
 	steps := []struct {
 		name string
@@ -101,7 +116,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"table1", func() (*Table, error) { return Table1(cfg.Table1MaxN) }},
 		{"table1-crossover", func() (*Table, error) { return Table1Crossover(18) }},
 		{"figure1", func() (*Table, error) {
-			return Figure1(cfg.Figure1MaxTotal, cfg.Figure1Exact, cfg.ExploreWorkers)
+			return Figure1(cfg.Figure1MaxTotal, cfg.Figure1Exact, exOpts)
 		}},
 		{"figure2", Figure2},
 		{"theorem3", func() (*Table, error) { return Theorem3(cfg.Theorem3MaxN, cfg.Theorem3SweepMaxN) }},
@@ -110,7 +125,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"election", func() (*Table, error) {
 			return Election([]int64{1, 4, 16, 48}, cfg.ConvergenceRuns, cfg.Seed)
 		}},
-		{"theorem2", func() (*Table, error) { return Theorem2(cfg.ExploreWorkers) }},
+		{"theorem2", func() (*Table, error) { return Theorem2(exOpts) }},
 		{"theorem2-churn", func() (*Table, error) { return Theorem2Churn(cfg.Seed) }},
 		{"convergence", func() (*Table, error) {
 			return Convergence(cfg.ConvergenceSizes, cfg.ConvergenceRuns, cfg.Seed,
@@ -125,6 +140,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"reduction", Reduction},
 		{"inlining", func() (*Table, error) { return Inlining(8) }},
 		{"shrink", func() (*Table, error) { return Shrink(cfg.ShrinkMaxN, cfg.ShrinkFullN) }},
+		{"shrink-explore", func() (*Table, error) { return ShrinkExplore(exOpts) }},
 	}
 	for _, s := range steps {
 		tbl, err := s.run()

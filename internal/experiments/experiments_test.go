@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/explore"
 	"repro/internal/simulate"
 )
 
@@ -88,7 +89,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFigure1DecisionsNoExact(t *testing.T) {
-	tbl, err := Figure1(8, false, 2)
+	tbl, err := Figure1(8, false, explore.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestTheorem2RobustnessVerdicts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow randomised experiment")
 	}
-	tbl, err := Theorem2(2)
+	tbl, err := Theorem2(explore.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,10 +15,11 @@ import (
 // program deciding 4 ≤ x < 7, decided for every total m both by the
 // program-level interpreter (statistical) and by exhaustive model checking
 // of the compiled machine over every initial placement (exact). The exact
-// checks run on the parallel exploration engine with exploreWorkers workers
-// (0 = one per CPU); the verdicts and state counts are identical for any
-// worker count.
-func Figure1(maxTotal int64, exact bool, exploreWorkers int) (*Table, error) {
+// checks run on the parallel exploration engine configured by exOpts
+// (worker count, memory budget, spill directory); the experiment pins its
+// own state bound. The verdicts and state counts are identical for any
+// worker count and any budget — out-of-core runs are bit-identical.
+func Figure1(maxTotal int64, exact bool, exOpts explore.Options) (*Table, error) {
 	t := &Table{
 		ID:      "E2 (Figure 1)",
 		Title:   "the example program decides 4 ≤ x < 7",
@@ -30,6 +31,7 @@ func Figure1(maxTotal int64, exact bool, exploreWorkers int) (*Table, error) {
 		return nil, err
 	}
 	sys := popmachine.System{M: machine}
+	exOpts.MaxStates = 3_000_000
 	for m := int64(1); m <= maxTotal; m++ {
 		want := m >= 4 && m < 7
 		res, err := popprog.DecideTotal(prog, m, popprog.DecideOptions{
@@ -52,8 +54,7 @@ func Figure1(maxTotal int64, exact bool, exploreWorkers int) (*Table, error) {
 					checkErr = err
 					return
 				}
-				r, err := explore.ExploreParallel[*popmachine.Config](sys, []*popmachine.Config{cfg},
-					explore.Options{MaxStates: 3_000_000, Workers: exploreWorkers})
+				r, err := explore.ExploreParallel[*popmachine.Config](sys, []*popmachine.Config{cfg}, exOpts)
 				if err != nil {
 					checkErr = err
 					return

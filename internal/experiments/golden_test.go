@@ -3,6 +3,8 @@ package experiments
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/explore"
 )
 
 // The golden tests pin the deterministic experiment outputs cell-for-cell.
@@ -47,14 +49,49 @@ func TestFigure1ExactGolden(t *testing.T) {
 		{"5", "true", "true", "verified (101181 states explored)"},
 		{"6", "true", "true", "verified (209052 states explored)"},
 	}
-	for _, workers := range []int{1, 3} {
-		tbl, err := Figure1(6, true, workers)
+	// The third configuration forces out-of-core operation (a 4 KiB budget
+	// spills both the interner key log and the frontier): the golden rows —
+	// including the exact state counts — must not move.
+	for _, opts := range []explore.Options{
+		{Workers: 1},
+		{Workers: 3},
+		{Workers: 3, MemBudget: 4 << 10, SpillDir: t.TempDir()},
+	} {
+		tbl, err := Figure1(6, true, opts)
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("opts=%+v: %v", opts, err)
 		}
 		if !reflect.DeepEqual(tbl.Rows, want) {
-			t.Fatalf("Figure1(6, exact) rows drifted at workers=%d:\n got %v\nwant %v",
-				workers, tbl.Rows, want)
+			t.Fatalf("Figure1(6, exact) rows drifted at opts=%+v:\n got %v\nwant %v",
+				opts, tbl.Rows, want)
+		}
+	}
+}
+
+// TestShrinkExploreGolden pins E17b cell-for-cell: the exact reachable
+// configuration counts of the plain-converter and shrink-pipeline protocols
+// for the E2 and E10 artefacts. The counts are a function of the
+// constructions and the §7 conversion alone; the second configuration runs
+// the same explorations out of core (2 KiB budget) and must not move a cell.
+func TestShrinkExploreGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive check")
+	}
+	want := [][]string{
+		{"figure1 (4 <= x < 7)", "leaderless, 1 input", "12", "904->492", "16301->15960", "verified"},
+		{"czerner n=1 (x >= 2)", "leader model, x = 1", "24", "1804->514", "1897->1853", "verified"},
+	}
+	for _, opts := range []explore.Options{
+		{Workers: 2},
+		{Workers: 2, MemBudget: 2 << 10, SpillDir: t.TempDir()},
+	} {
+		tbl, err := ShrinkExplore(opts)
+		if err != nil {
+			t.Fatalf("opts=%+v: %v", opts, err)
+		}
+		if !reflect.DeepEqual(tbl.Rows, want) {
+			t.Fatalf("ShrinkExplore rows drifted at opts=%+v:\n got %v\nwant %v",
+				opts, tbl.Rows, want)
 		}
 	}
 }

@@ -27,10 +27,10 @@ import (
 // by the population-program semantics (§4: "all registers may have
 // arbitrary values") must still decide the total correctly.
 //
-// The exact baseline verdicts run on the parallel exploration engine with
-// exploreWorkers workers (0 = one per CPU); verdicts are identical for any
-// worker count.
-func Theorem2(exploreWorkers int) (*Table, error) {
+// The exact baseline verdicts run on the parallel exploration engine
+// configured by exOpts (worker count, memory budget, spill directory);
+// verdicts are identical for any worker count and any budget.
+func Theorem2(exOpts explore.Options) (*Table, error) {
 	t := &Table{
 		ID:    "E11 (Theorem 2)",
 		Title: "robustness: 1-aware baselines vs the almost-self-stabilising construction",
@@ -54,7 +54,7 @@ func Theorem2(exploreWorkers int) (*Table, error) {
 		return nil, err
 	}
 	res, err := explore.ExploreParallel(explore.NewProtocolSystem(unary),
-		[]*multiset.Multiset{noisy}, explore.Options{Workers: exploreWorkers})
+		[]*multiset.Multiset{noisy}, exOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +72,7 @@ func Theorem2(exploreWorkers int) (*Table, error) {
 		return nil, err
 	}
 	resB, err := explore.ExploreParallel(explore.NewProtocolSystem(binary),
-		[]*multiset.Multiset{noisyB}, explore.Options{Workers: exploreWorkers})
+		[]*multiset.Multiset{noisyB}, exOpts)
 	if err != nil {
 		return nil, err
 	}

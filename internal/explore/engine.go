@@ -1,7 +1,9 @@
 package explore
 
 import (
+	"bytes"
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,11 +19,26 @@ type AppendKeySystem[S any] interface {
 	AppendKey(dst []byte, s S) []byte
 }
 
+// KeyDecoderSystem is the optional extension that unlocks out-of-core
+// exploration: systems that can also rebuild a state from its key bytes let
+// the engine drop the in-RAM states slice entirely — frontier records carry
+// their key bytes through the (possibly disk-backed) frontier, expansion
+// decodes states on the fly, and the analysis phase streams states back from
+// the key log in dense-id order. DecodeKey must invert AppendKey exactly:
+// decoding a state's key yields a state equal to the original under
+// Successors and Output. prev, when non-zero, is a previously decoded state
+// the implementation may overwrite and return to avoid allocating per
+// decode; callers never use prev again after the call.
+type KeyDecoderSystem[S any] interface {
+	AppendKeySystem[S]
+	DecodeKey(prev S, key []byte) (S, error)
+}
+
 // pending records one successor produced by a parallel expansion pass,
 // before the commit pass has resolved it to a dense id.
 type pending[S any] struct {
 	state S
-	key   []byte // copied encoded key; nil when id was resolved during expansion
+	key   []byte // encoded key in the worker's arena; meaningful when id < 0
 	hash  uint64
 	id    int32 // dense id, or -1 if the state was unknown at expansion time
 }
@@ -31,11 +48,24 @@ type pending[S any] struct {
 // narrow frontiers (chains, near-deterministic systems) expand inline.
 const minExpandChunk = 64
 
+// expandScratch is one worker's reusable expansion state: the key encode
+// buffer, a read buffer for unmapped spilled-segment reads, the arena that
+// keeps this block's unknown keys stable, the deferred spilled lookups, and
+// (in codec mode) the decode-scratch state.
+type expandScratch[S any] struct {
+	keyBuf   []byte
+	readBuf  []byte
+	arena    byteArena
+	deferred []deferredLookup
+	dec      S
+	err      error
+}
+
 // ExploreParallel is ExploreContext without cancellation. Like Explore it
 // builds the reachable graph from the initial states and analyses its bottom
 // SCCs, but it expands the BFS frontier on opts.Workers goroutines and
 // interns states through the sharded binary-key interner. The Result is
-// bit-identical to Explore's for every worker count.
+// bit-identical to Explore's for every worker count and every memory budget.
 func ExploreParallel[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 	return ExploreContext(context.Background(), sys, initial, opts)
 }
@@ -51,7 +81,17 @@ func ExploreParallel[S any](sys System[S], initial []S, opts Options) (*Result, 
 // lists, Tarjan component numbering, outcome order, witness keys and the
 // point at which ErrStateLimit fires are therefore all bit-identical to
 // Explore's, for any worker count. Cancelling ctx (or exceeding its
-// deadline) aborts at the next level barrier with the context's error.
+// deadline) aborts at the next block barrier with the context's error.
+//
+// Storage: with Options.MemBudget set, interned keys live in a segmented
+// append-only log that spills sealed segments to files under
+// Options.SpillDir, the frontier overflows to sequential per-level spill
+// files, and levels are processed in bounded blocks. Block-by-block commit
+// resolves records in exactly the order a whole-level commit would — dedup
+// is insensitive to when (not whether) a key was first interned — so the
+// spilled engine is bit-identical to the all-RAM one at any budget. All
+// spill files live in one per-run temp directory removed on every exit
+// path, including cancellation and errors.
 func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts Options) (*Result, error) {
 	limit := opts.maxStates()
 	workers := opts.workers()
@@ -67,9 +107,28 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 	if ak, ok := any(sys).(AppendKeySystem[S]); ok {
 		encode = ak.AppendKey
 	}
+	dec, codec := any(sys).(KeyDecoderSystem[S])
 
-	in := newInterner()
-	var states []S
+	// Budget split: the key log gets half (it holds every key ever
+	// interned), each ping-pong frontier an eighth; the remainder absorbs
+	// block buffers and segment slack, so the spillable tier's resident
+	// peak stays under the budget. The fixed-width interner tables (~16
+	// bytes per state) are the irreducible floor and are not budgeted.
+	var logBudget, frontBudget int64
+	if opts.MemBudget > 0 {
+		logBudget = opts.MemBudget / 2
+		frontBudget = opts.MemBudget / 8
+	}
+	st := newSpillStore(opts.SpillDir, met)
+	defer st.close()
+	in := newInterner(logBudget, st, met)
+	defer in.close()
+	cur := newFrontier(codec, frontBudget, st, met, 0)
+	defer cur.close()
+	nxt := newFrontier(codec, frontBudget, st, met, 1)
+	defer nxt.close()
+
+	var states []S // only in stateful (non-codec) mode
 	var edges [][]int
 
 	// intern assigns the next dense id to an unseen key. Single-threaded:
@@ -78,12 +137,16 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 		if id, ok := in.lookup(h, key); ok {
 			return id, false, nil
 		}
-		if len(states) >= limit {
+		if len(edges) >= limit {
 			return 0, false, errStateLimit(limit)
 		}
-		id := len(states)
-		in.insert(h, key, id)
-		states = append(states, s)
+		id := len(edges)
+		if err := in.insert(h, key, id); err != nil {
+			return 0, false, err
+		}
+		if !codec {
+			states = append(states, s)
+		}
 		edges = append(edges, nil)
 		if met != nil {
 			met.States.Inc()
@@ -91,7 +154,6 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 		return id, true, nil
 	}
 
-	var frontier []int
 	var keyBuf []byte
 	for _, s := range initial {
 		keyBuf = encode(keyBuf[:0], s)
@@ -100,11 +162,20 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 			return nil, err
 		}
 		if fresh {
-			frontier = append(frontier, id)
+			if err := cur.add(id, keyBuf); err != nil {
+				return nil, err
+			}
 		}
 	}
 
-	for len(frontier) > 0 {
+	scratches := make([]*expandScratch[S], workers)
+	for i := range scratches {
+		scratches[i] = &expandScratch[S]{}
+	}
+	var blk []frontierRec
+	var perState [][]pending[S]
+
+	for cur.count > 0 {
 		if err := ctx.Err(); err != nil {
 			if met != nil {
 				met.Cancellations.Inc()
@@ -113,99 +184,175 @@ func ExploreContext[S any](ctx context.Context, sys System[S], initial []S, opts
 		}
 		if met != nil {
 			met.Levels.Inc()
-			met.Frontier.Observe(int64(len(frontier)))
+			met.Frontier.Observe(int64(cur.count))
 		}
-
-		// Expansion pass: workers read the interner and produce, per
-		// frontier state, its successor records. Writes go to disjoint
-		// perState slots, so the only shared structure is the interner.
-		perState := make([][]pending[S], len(frontier))
-		chunk := (len(frontier) + workers - 1) / workers
-		if chunk < minExpandChunk {
-			chunk = minExpandChunk
-		}
-		if chunk >= len(frontier) {
-			expandRange(ctx, sys, encode, in, states, frontier, perState, 0, len(frontier))
-		} else {
-			var wg sync.WaitGroup
-			for lo := 0; lo < len(frontier); lo += chunk {
-				hi := min(lo+chunk, len(frontier))
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					expandRange(ctx, sys, encode, in, states, frontier, perState, lo, hi)
-				}(lo, hi)
-			}
-			wg.Wait()
-		}
-		if err := ctx.Err(); err != nil {
-			if met != nil {
-				met.Cancellations.Inc()
-			}
+		if err := cur.startRead(); err != nil {
 			return nil, err
 		}
 
-		// Commit pass: resolve pending successors to dense ids in canonical
-		// (frontier id, successor index) order — the sequential BFS order.
-		var next []int
-		for i, u := range frontier {
-			recs := perState[i]
-			if len(recs) == 0 {
-				continue
+		for {
+			var err error
+			blk, err = cur.nextBlock(blk[:0])
+			if err != nil {
+				return nil, err
 			}
-			out := make([]int, len(recs))
-			for j := range recs {
-				r := &recs[j]
-				if r.id >= 0 {
-					out[j] = int(r.id)
+			if len(blk) == 0 {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				if met != nil {
+					met.Cancellations.Inc()
+				}
+				return nil, err
+			}
+
+			// Expansion pass: workers read the interner and produce, per
+			// frontier state, its successor records. Writes go to disjoint
+			// perState slots, so the only shared structures are the
+			// read-only interner and key log.
+			for len(perState) < len(blk) {
+				perState = append(perState, nil)
+			}
+			chunk := (len(blk) + workers - 1) / workers
+			if chunk < minExpandChunk {
+				chunk = minExpandChunk
+			}
+			if chunk >= len(blk) {
+				expandBlock(ctx, sys, encode, dec, codec, in, states, blk, perState, 0, len(blk), scratches[0])
+			} else {
+				var wg sync.WaitGroup
+				w := 0
+				for lo := 0; lo < len(blk); lo += chunk {
+					hi := min(lo+chunk, len(blk))
+					sc := scratches[w]
+					w++
+					wg.Add(1)
+					go func(lo, hi int, sc *expandScratch[S]) {
+						defer wg.Done()
+						expandBlock(ctx, sys, encode, dec, codec, in, states, blk, perState, lo, hi, sc)
+					}(lo, hi, sc)
+				}
+				wg.Wait()
+			}
+			if err := ctx.Err(); err != nil {
+				if met != nil {
+					met.Cancellations.Inc()
+				}
+				return nil, err
+			}
+			for _, sc := range scratches {
+				if sc.err != nil {
+					return nil, sc.err
+				}
+			}
+
+			// Commit pass: resolve pending successors to dense ids in
+			// canonical (frontier id, successor index) order — the
+			// sequential BFS order. Blocks commit in frontier order, so the
+			// global resolution order is identical to a whole-level commit.
+			for bi := range blk {
+				recs := perState[bi]
+				if len(recs) == 0 {
 					continue
 				}
-				id, fresh, err := intern(r.key, r.hash, r.state)
-				if err != nil {
-					return nil, err
+				out := make([]int, len(recs))
+				for j := range recs {
+					r := &recs[j]
+					if r.id >= 0 {
+						out[j] = int(r.id)
+						continue
+					}
+					id, fresh, err := intern(r.key, r.hash, r.state)
+					if err != nil {
+						return nil, err
+					}
+					out[j] = id
+					if fresh {
+						if err := nxt.add(id, r.key); err != nil {
+							return nil, err
+						}
+					}
 				}
-				out[j] = id
-				if fresh {
-					next = append(next, id)
+				edges[blk[bi].id] = out
+				if met != nil {
+					met.Edges.Add(int64(len(out)))
 				}
-			}
-			edges[u] = out
-			if met != nil {
-				met.Edges.Add(int64(len(out)))
 			}
 		}
-		frontier = next
+		cur.endRead()
+		cur, nxt = nxt, cur
 	}
 
+	if codec {
+		return analyseFromLog(sys, dec, in.log, len(edges), edges)
+	}
 	return analyse(sys, states, edges), nil
 }
 
-// expandRange expands frontier[lo:hi] into perState[lo:hi]. It only reads
-// the interner (resolving already-known successors to ids immediately) and
-// copies the keys of unknown successors for the commit pass.
-func expandRange[S any](ctx context.Context, sys System[S], encode func([]byte, S) []byte,
-	in *interner, states []S, frontier []int, perState [][]pending[S], lo, hi int) {
-	var keyBuf []byte
+// expandBlock expands blk[lo:hi] into perState[lo:hi]. It only reads the
+// interner and key log: already-known successors resolve to ids immediately
+// (or via the deferred batch below), and unknown successors' keys are copied
+// into the worker's arena for the commit pass. Lookups whose confirming key
+// bytes live in spilled segments are deferred and then resolved in sorted
+// offset order — one sequential sweep over the spilled tier per chunk
+// instead of random per-successor reads.
+func expandBlock[S any](ctx context.Context, sys System[S], encode func([]byte, S) []byte,
+	dec KeyDecoderSystem[S], codec bool, in *interner, states []S, blk []frontierRec,
+	perState [][]pending[S], lo, hi int, sc *expandScratch[S]) {
+	sc.arena.reset()
+	sc.deferred = sc.deferred[:0]
 	for i := lo; i < hi; i++ {
-		if i&63 == 0 && ctx.Err() != nil {
+		if (i-lo)&63 == 0 && ctx.Err() != nil {
 			return
 		}
-		succs := sys.Successors(states[frontier[i]])
-		if len(succs) == 0 {
-			continue
+		var s S
+		if codec {
+			var err error
+			s, err = dec.DecodeKey(sc.dec, blk[i].key)
+			if err != nil {
+				sc.err = err
+				return
+			}
+			sc.dec = s
+		} else {
+			s = states[blk[i].id]
 		}
-		recs := make([]pending[S], len(succs))
-		for j, s := range succs {
-			keyBuf = encode(keyBuf[:0], s)
-			h := hashKey(keyBuf)
-			if id, ok := in.lookup(h, keyBuf); ok {
-				recs[j] = pending[S]{id: int32(id)}
+		succs := sys.Successors(s)
+		recs := perState[i][:0]
+		for j, t := range succs {
+			sc.keyBuf = encode(sc.keyBuf[:0], t)
+			h := hashKey(sc.keyBuf)
+			id, ok, deferred := in.lookupExpand(h, sc.keyBuf, &sc.readBuf, &sc.deferred, int32(i), int32(j))
+			if ok {
+				recs = append(recs, pending[S]{id: int32(id)})
 				continue
 			}
-			key := make([]byte, len(keyBuf))
-			copy(key, keyBuf)
-			recs[j] = pending[S]{state: s, key: key, hash: h, id: -1}
+			// Unknown (or deferred): keep the key bytes; the commit pass —
+			// or the deferred resolution below — needs them.
+			key := sc.arena.copyBytes(sc.keyBuf)
+			recs = append(recs, pending[S]{state: t, key: key, hash: h, id: -1})
+			_ = deferred
 		}
 		perState[i] = recs
+	}
+	if len(sc.deferred) == 0 {
+		return
+	}
+	sort.Slice(sc.deferred, func(a, b int) bool { return sc.deferred[a].off < sc.deferred[b].off })
+	for _, dl := range sc.deferred {
+		p := &perState[dl.i][dl.j]
+		rec, err := in.log.record(dl.off, &sc.readBuf)
+		if err != nil {
+			sc.err = err
+			return
+		}
+		if bytes.Equal(rec, p.key) {
+			p.id = dl.id
+			continue
+		}
+		// First fingerprint match was a false positive: resume the probe.
+		if id, ok := in.resumeLookup(dl.hash, p.key, dl.slot, &sc.readBuf); ok {
+			p.id = int32(id)
+		}
 	}
 }

@@ -63,6 +63,21 @@ type Options struct {
 	// are bit-identical for every worker count, so experiments stay
 	// reproducible regardless of the machine they ran on.
 	Workers int
+	// MemBudget caps the resident bytes of the parallel engine's spillable
+	// storage tier (interned key log + frontier buffers). Zero means
+	// unbounded: everything stays in RAM and no spill files are created.
+	// With a budget set, sealed key-log segments and overflowing frontier
+	// levels spill to files under SpillDir; Results remain bit-identical to
+	// the all-RAM engine at any budget. The interner's fixed-width tables
+	// (~16 bytes per state) are the irreducible in-RAM floor and are not
+	// counted against the budget. Requires a system implementing
+	// KeyDecoderSystem to also drop decoded states from RAM; for other
+	// systems the budget governs only the key-log tier.
+	MemBudget int64
+	// SpillDir is the directory under which the engine creates its per-run
+	// spill directory (removed on every exit path). Empty means the system
+	// temporary directory. Only consulted when spilling actually happens.
+	SpillDir string
 }
 
 func (o Options) maxStates() int {
@@ -212,29 +227,8 @@ func Explore[S any](sys System[S], initial []S, opts Options) (*Result, error) {
 // canonical (BFS-ordered) graph, which is what makes their Results
 // bit-identical.
 func analyse[S any](sys System[S], states []S, edges [][]int) *Result {
-	// Phase 2: Tarjan's SCC algorithm (iterative, to survive deep graphs).
 	n := len(states)
-	comp := tarjanSCC(n, edges)
-	numComp := 0
-	for _, c := range comp {
-		if c+1 > numComp {
-			numComp = c + 1
-		}
-	}
-
-	// Phase 3: a component is bottom iff it has no edge to another
-	// component.
-	isBottom := make([]bool, numComp)
-	for i := range isBottom {
-		isBottom[i] = true
-	}
-	for u, outs := range edges {
-		for _, v := range outs {
-			if comp[u] != comp[v] {
-				isBottom[comp[u]] = false
-			}
-		}
-	}
+	comp, isBottom, numComp := bottomComponents(n, edges)
 
 	// Phase 4: compute each bottom SCC's consensus outcome. Witness keys are
 	// the only strings materialised here: one per bottom SCC, not per state.
@@ -258,6 +252,37 @@ func analyse[S any](sys System[S], states []S, edges [][]int) *Result {
 		}
 	}
 
+	return collectResult(n, numComp, isBottom, outcome, witness)
+}
+
+// bottomComponents runs the shared structural phases: Tarjan's SCC pass over
+// the dense edge lists (phase 2) and bottom-component detection (phase 3). A
+// component is bottom iff it has no edge to another component.
+func bottomComponents(n int, edges [][]int) (comp []int, isBottom []bool, numComp int) {
+	comp = tarjanSCC(n, edges)
+	for _, c := range comp {
+		if c+1 > numComp {
+			numComp = c + 1
+		}
+	}
+	isBottom = make([]bool, numComp)
+	for i := range isBottom {
+		isBottom[i] = true
+	}
+	for u, outs := range edges {
+		for _, v := range outs {
+			if comp[u] != comp[v] {
+				isBottom[comp[u]] = false
+			}
+		}
+	}
+	return comp, isBottom, numComp
+}
+
+// collectResult folds the per-component outcome/witness arrays into a Result,
+// keeping only bottom components in component-id order — the same order for
+// every engine, which keeps Outcomes and WitnessKeys bit-identical.
+func collectResult(n, numComp int, isBottom []bool, outcome []protocol.Output, witness []string) *Result {
 	res := &Result{NumStates: n}
 	for c := 0; c < numComp; c++ {
 		if !isBottom[c] {
@@ -268,6 +293,47 @@ func analyse[S any](sys System[S], states []S, edges [][]int) *Result {
 		res.WitnessKeys = append(res.WitnessKeys, witness[c])
 	}
 	return res
+}
+
+// analyseFromLog is analyse for the out-of-core engine: states were never
+// kept in RAM, so phase 4 streams them back from the key log — one
+// sequential pass in dense-id order (record k of the log is state k),
+// decoding only bottom-SCC members. Witness keys are recomputed via sys.Key
+// on the decoded state, exactly as analyse computes them, so Results match
+// the in-RAM engines byte for byte.
+func analyseFromLog[S any](sys System[S], dec KeyDecoderSystem[S], log *keyLog, n int, edges [][]int) (*Result, error) {
+	comp, isBottom, numComp := bottomComponents(n, edges)
+
+	outcome := make([]protocol.Output, numComp)
+	haveOutcome := make([]bool, numComp)
+	witness := make([]string, numComp)
+	var s S
+	cur := log.cursor()
+	for u := 0; u < n; u++ {
+		key, err := cur.next()
+		if err != nil {
+			return nil, err
+		}
+		c := comp[u]
+		if !isBottom[c] {
+			continue
+		}
+		s, err = dec.DecodeKey(s, key)
+		if err != nil {
+			return nil, err
+		}
+		o := sys.Output(s)
+		if !haveOutcome[c] {
+			outcome[c] = o
+			haveOutcome[c] = true
+			witness[c] = sys.Key(s)
+			continue
+		}
+		if outcome[c] != o {
+			outcome[c] = protocol.OutputMixed
+		}
+	}
+	return collectResult(n, numComp, isBottom, outcome, witness), nil
 }
 
 // tarjanSCC computes strongly connected components iteratively and returns

@@ -9,48 +9,67 @@ import (
 )
 
 // The sharded state interner maps compact binary state keys to dense integer
-// ids. It replaces the single string-keyed map of the sequential checker:
-// keys are stored once, concatenated in per-shard byte arenas, and looked up
-// through per-shard hash tables keyed by the 64-bit FNV-1a hash of the key
-// bytes, with full-key comparison resolving hash collisions. Shards are
-// selected by the low bits of the hash, so assignment is a pure function of
-// the key — stable across runs and worker counts.
+// ids. Keys are stored once, appended to the global key log (which seals
+// into segments and spills to disk under a memory budget); the in-RAM part
+// of the interner is per-shard open-addressing tables of fixed-width
+// entries — a log offset, a 32-bit hash fingerprint and the dense id, 16
+// bytes per state regardless of key size. Lookups probe by fingerprint and
+// confirm against the full key bytes read from the log, so false fingerprint
+// matches cost one extra read, never a wrong id.
+//
+// Shards are selected by the low 6 bits of the 64-bit FNV-1a key hash and
+// probe slots by the high 32 bits (the fingerprint), so both are pure
+// functions of the key — stable across runs, worker counts and budgets.
 //
 // Concurrency contract: the parallel engine alternates between a read-only
-// expansion pass (many workers calling lookup) and a single-threaded commit
-// pass (one goroutine calling insert). The striped RWMutexes make each shard
-// individually safe under any interleaving, so the interner stays correct
-// even if a future scheduler overlaps the phases.
+// expansion pass (many workers calling lookupExpand) and a single-threaded
+// commit pass (one goroutine calling insert/lookup). The striped RWMutexes
+// make each shard individually safe under any interleaving, so the interner
+// stays correct even if a future scheduler overlaps the phases.
 
 const (
 	internShardBits = 6
 	internShardCnt  = 1 << internShardBits
+
+	// internInitialSlots is each shard's initial table size; tables grow by
+	// doubling at 3/4 load.
+	internInitialSlots = 16
 )
 
-// internEntry locates one interned key in its shard's arena.
+// internEntry locates one interned key: off is the key-log offset of its
+// record (0 = empty slot; the log's leading pad byte guarantees no record
+// lives at offset 0), fp the hash fingerprint, id the dense state id.
 type internEntry struct {
-	off, end uint32 // key bytes are shard.arena[off:end]
-	id       int32  // dense state id
+	off uint64
+	fp  uint32
+	id  int32
 }
 
 type internShard struct {
-	mu    sync.RWMutex
-	table map[uint64][]internEntry
-	arena []byte
+	mu      sync.RWMutex
+	entries []internEntry // open addressing; len is a power of two
+	count   int
 }
 
 type interner struct {
 	shards [internShardCnt]internShard
+	log    *keyLog
 	// met is the telemetry group captured at construction (nil when
-	// disabled): shard occupancy, arena growth and hash collisions are
+	// disabled): shard occupancy, key-log growth and hash collisions are
 	// observed on insert, which the commit pass runs single-threaded.
 	met *obs.ExploreMetrics
+	// scratch backs key reads on the single-threaded lookup path (commit
+	// pass); concurrent expansion lookups carry their own scratch.
+	scratch []byte
 }
 
-func newInterner() *interner {
-	in := &interner{met: obs.Explore()}
+// newInterner builds an interner over a fresh key log. budget is the
+// resident-byte budget of the log tier (0 = stay in RAM); st owns any spill
+// files.
+func newInterner(budget int64, st *spillStore, met *obs.ExploreMetrics) *interner {
+	in := &interner{log: newKeyLog(budget, st, met), met: met}
 	for i := range in.shards {
-		in.shards[i].table = make(map[uint64][]internEntry)
+		in.shards[i].entries = make([]internEntry, internInitialSlots)
 	}
 	return in
 }
@@ -62,33 +81,130 @@ func hashKey(key []byte) uint64 { return multiset.Hash64(key) }
 // shardIndex returns the shard a hash maps to.
 func shardIndex(h uint64) int { return int(h & (internShardCnt - 1)) }
 
-// lookup returns the id interned for key, if any. Safe for concurrent use
-// with other lookups; safe with a concurrent insert via the shard lock.
+// fingerprint is the 32-bit probe fingerprint of a hash: the high bits,
+// independent of the shard-selecting low bits.
+func fingerprint(h uint64) uint32 { return uint32(h >> 32) }
+
+// close releases the key log's spill resources.
+func (in *interner) close() { in.log.close() }
+
+// lookup returns the id interned for key, if any. Single-threaded contract:
+// it shares the interner's read scratch, so only the commit pass (or other
+// serial callers, like the fuzz harness) may use it; the expansion pass uses
+// lookupExpand.
 func (in *interner) lookup(h uint64, key []byte) (int, bool) {
 	sh := &in.shards[shardIndex(h)]
+	fp := fingerprint(h)
 	sh.mu.RLock()
-	for _, e := range sh.table[h] {
-		if bytes.Equal(sh.arena[e.off:e.end], key) {
-			sh.mu.RUnlock()
+	defer sh.mu.RUnlock()
+	mask := uint32(len(sh.entries) - 1)
+	for slot := fp & mask; ; slot = (slot + 1) & mask {
+		e := sh.entries[slot]
+		if e.off == 0 {
+			return 0, false
+		}
+		if e.fp != fp {
+			continue
+		}
+		rec, err := in.log.record(e.off, &in.scratch)
+		if err == nil && bytes.Equal(rec, key) {
 			return int(e.id), true
 		}
 	}
-	sh.mu.RUnlock()
-	return 0, false
 }
 
-// insert interns key with the given id. The caller must have established
-// that key is absent (ids are dense, assigned in canonical BFS order by the
-// single-threaded commit pass). The key bytes are copied into the shard
-// arena; the caller may reuse its buffer.
-func (in *interner) insert(h uint64, key []byte, id int) {
+// deferredLookup is an expansion-pass lookup whose first fingerprint match
+// points into a spilled segment: the confirming read is deferred so the
+// worker can batch all of a chunk's spilled reads in sorted offset order.
+type deferredLookup struct {
+	off  uint64 // candidate record offset to confirm against
+	hash uint64
+	slot uint32 // probe slot of the candidate (to resume on mismatch)
+	id   int32  // candidate's dense id, valid if the confirm succeeds
+	i, j int32  // perState[i][j] is the pending record to resolve
+}
+
+// lookupExpand is the expansion-pass lookup: like lookup, but when the first
+// fingerprint match needs a spilled-segment read it defers the confirmation
+// into d (to be resolved by resolveDeferred) and reports deferred = true.
+// Resident confirms are done inline. scratch backs unmapped spilled reads.
+func (in *interner) lookupExpand(h uint64, key []byte, scratch *[]byte,
+	d *[]deferredLookup, i, j int32) (id int, ok, deferred bool) {
+	sh := &in.shards[shardIndex(h)]
+	fp := fingerprint(h)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	mask := uint32(len(sh.entries) - 1)
+	for slot := fp & mask; ; slot = (slot + 1) & mask {
+		e := sh.entries[slot]
+		if e.off == 0 {
+			return 0, false, false
+		}
+		if e.fp != fp {
+			continue
+		}
+		if in.log.spilled(e.off) {
+			*d = append(*d, deferredLookup{off: e.off, hash: h, slot: slot, id: e.id, i: i, j: j})
+			return 0, false, true
+		}
+		rec, err := in.log.record(e.off, scratch)
+		if err == nil && bytes.Equal(rec, key) {
+			return int(e.id), true, false
+		}
+	}
+}
+
+// resumeLookup continues a probe sequence past a failed deferred confirm:
+// from slot+1 onward, reading spilled records synchronously (fingerprint
+// mismatches past the first match are ~2⁻³² rare, so this path is cold).
+func (in *interner) resumeLookup(h uint64, key []byte, from uint32, scratch *[]byte) (int, bool) {
+	sh := &in.shards[shardIndex(h)]
+	fp := fingerprint(h)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	mask := uint32(len(sh.entries) - 1)
+	for slot := (from + 1) & mask; ; slot = (slot + 1) & mask {
+		e := sh.entries[slot]
+		if e.off == 0 {
+			return 0, false
+		}
+		if e.fp != fp {
+			continue
+		}
+		rec, err := in.log.record(e.off, scratch)
+		if err == nil && bytes.Equal(rec, key) {
+			return int(e.id), true
+		}
+	}
+}
+
+// insert interns key with the given id, appending the key to the log. The
+// caller must have established that key is absent (ids are dense, assigned
+// in canonical BFS order by the single-threaded commit pass). The key bytes
+// are copied into the log; the caller may reuse its buffer.
+func (in *interner) insert(h uint64, key []byte, id int) error {
+	off, err := in.log.append(key)
+	if err != nil {
+		return err
+	}
 	shard := shardIndex(h)
 	sh := &in.shards[shard]
+	fp := fingerprint(h)
 	sh.mu.Lock()
-	collision := len(sh.table[h]) != 0 // same 64-bit hash, different key
-	off := uint32(len(sh.arena))
-	sh.arena = append(sh.arena, key...)
-	sh.table[h] = append(sh.table[h], internEntry{off: off, end: off + uint32(len(key)), id: int32(id)})
+	if (sh.count+1)*4 > len(sh.entries)*3 {
+		sh.grow()
+	}
+	mask := uint32(len(sh.entries) - 1)
+	collision := false
+	slot := fp & mask
+	for sh.entries[slot].off != 0 {
+		if sh.entries[slot].fp == fp {
+			collision = true // same fingerprint, necessarily a different key
+		}
+		slot = (slot + 1) & mask
+	}
+	sh.entries[slot] = internEntry{off: off, fp: fp, id: int32(id)}
+	sh.count++
 	sh.mu.Unlock()
 	if in.met != nil {
 		in.met.InternShard.Add(shard, 1)
@@ -96,5 +212,24 @@ func (in *interner) insert(h uint64, key []byte, id int) {
 		if collision {
 			in.met.InternCollisions.Inc()
 		}
+	}
+	return nil
+}
+
+// grow doubles the shard's table, re-placing entries by fingerprint. Caller
+// holds the write lock.
+func (sh *internShard) grow() {
+	old := sh.entries
+	sh.entries = make([]internEntry, 2*len(old))
+	mask := uint32(len(sh.entries) - 1)
+	for _, e := range old {
+		if e.off == 0 {
+			continue
+		}
+		slot := e.fp & mask
+		for sh.entries[slot].off != 0 {
+			slot = (slot + 1) & mask
+		}
+		sh.entries[slot] = e
 	}
 }

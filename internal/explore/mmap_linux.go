@@ -1,0 +1,25 @@
+//go:build linux
+
+package explore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. Spilled key-log segments are
+// immutable once written, so a shared read-only mapping gives the lookup
+// path zero-copy access while letting the kernel reclaim the pages under
+// memory pressure — which is the point of spilling.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) {
+	if len(b) > 0 {
+		syscall.Munmap(b)
+	}
+}

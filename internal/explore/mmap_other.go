@@ -1,0 +1,14 @@
+//go:build !linux
+
+package explore
+
+import "os"
+
+// mmapFile reports no mapping support: spilled segments fall back to
+// positional file reads (os.File.ReadAt), which keeps the engine portable
+// without platform-specific mapping code beyond linux.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, nil
+}
+
+func munmap(b []byte) {}

@@ -37,6 +37,20 @@ func (s ProtocolSystem) AppendKey(dst []byte, c *multiset.Multiset) []byte {
 	return c.AppendKey(dst)
 }
 
+// DecodeKey implements KeyDecoderSystem: configurations are rebuilt from
+// their varint count vectors, which lets the engine run out-of-core —
+// frontier and interned configurations can live on disk instead of in a
+// states slice. prev is reused as the decode target when non-nil.
+func (s ProtocolSystem) DecodeKey(prev *multiset.Multiset, key []byte) (*multiset.Multiset, error) {
+	if prev == nil {
+		return multiset.FromKey(key, len(s.P.States))
+	}
+	if err := prev.SetFromKey(key); err != nil {
+		return nil, err
+	}
+	return prev, nil
+}
+
 // Successors implements System.
 func (s ProtocolSystem) Successors(c *multiset.Multiset) []*multiset.Multiset {
 	if s.stepper != nil {

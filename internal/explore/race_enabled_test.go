@@ -1,0 +1,9 @@
+//go:build race
+
+package explore
+
+// raceEnabled reports whether the race detector is compiled in; the spill
+// tests scale their instance sizes down under it and skip the 10⁷-state
+// golden run entirely (the detector's ~10x slowdown and shadow memory make
+// it meaningless there).
+const raceEnabled = true

@@ -242,6 +242,33 @@ func FromKey(key []byte, n int) (*Multiset, error) {
 	return m, nil
 }
 
+// SetFromKey decodes a key produced by Key/AppendKey into m, overwriting its
+// counts in place. It is the streaming counterpart of FromKey for hot
+// decode loops (the out-of-core explorer reuses one scratch multiset per
+// worker instead of allocating per decoded state); the universe size is
+// m.Len() and the same validity checks apply. On error m is left in an
+// unspecified state.
+func (m *Multiset) SetFromKey(key []byte) error {
+	rest := key
+	m.size = 0
+	for i := range m.counts {
+		c, w := binary.Varint(rest)
+		if w <= 0 {
+			return fmt.Errorf("multiset: truncated key at kind %d", i)
+		}
+		if c < 0 {
+			return fmt.Errorf("multiset: negative count %d at kind %d", c, i)
+		}
+		m.counts[i] = c
+		m.size += c
+		rest = rest[w:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("multiset: %d trailing key bytes", len(rest))
+	}
+	return nil
+}
+
 // Hash64 is the 64-bit FNV-1a hash of a state key. The model checker's
 // sharded interner uses it both as the hash-table key and (via its low bits)
 // as the shard selector; it is a fixed function of the key bytes, so shard

@@ -59,17 +59,22 @@ type SimSnap struct {
 // ExploreSnap is the frozen exploration group. StatesPerSec is derived:
 // States divided by the engine-internal wall time.
 type ExploreSnap struct {
-	Explorations     int64    `json:"explorations"`
-	Levels           int64    `json:"levels"`
-	Frontier         HistSnap `json:"frontier"`
-	States           int64    `json:"states"`
-	Edges            int64    `json:"edges"`
-	Nanos            int64    `json:"nanos"`
-	StatesPerSec     float64  `json:"states_per_sec"`
-	Cancellations    int64    `json:"cancellations"`
-	InternArenaBytes int64    `json:"intern_arena_bytes"`
-	InternCollisions int64    `json:"intern_collisions"`
-	InternShard      []int64  `json:"intern_shard,omitempty"`
+	Explorations      int64    `json:"explorations"`
+	Levels            int64    `json:"levels"`
+	Frontier          HistSnap `json:"frontier"`
+	States            int64    `json:"states"`
+	Edges             int64    `json:"edges"`
+	Nanos             int64    `json:"nanos"`
+	StatesPerSec      float64  `json:"states_per_sec"`
+	Cancellations     int64    `json:"cancellations"`
+	InternArenaBytes  int64    `json:"intern_arena_bytes"`
+	InternCollisions  int64    `json:"intern_collisions"`
+	InternShard       []int64  `json:"intern_shard,omitempty"`
+	SpillSegments     int64    `json:"spill_segments"`
+	SpillBytes        int64    `json:"spill_bytes"`
+	SpillReadBytes    int64    `json:"spill_read_bytes"`
+	SpillResidentPeak int64    `json:"spill_resident_peak"`
+	FrontierSpills    int64    `json:"frontier_spills"`
 }
 
 // ServeSnap is the frozen server group.
@@ -150,16 +155,21 @@ func (m *Metrics) Snapshot() Snap {
 		SweepPointsResumed: m.sim.SweepPointsResumed.Load(),
 	}
 	s.Explore = ExploreSnap{
-		Explorations:     m.explore.Explorations.Load(),
-		Levels:           m.explore.Levels.Load(),
-		Frontier:         m.explore.Frontier.snapshot(),
-		States:           m.explore.States.Load(),
-		Edges:            m.explore.Edges.Load(),
-		Nanos:            m.explore.Nanos.Load(),
-		Cancellations:    m.explore.Cancellations.Load(),
-		InternArenaBytes: m.explore.InternArenaBytes.Load(),
-		InternCollisions: m.explore.InternCollisions.Load(),
-		InternShard:      m.explore.InternShard.snapshot(),
+		Explorations:      m.explore.Explorations.Load(),
+		Levels:            m.explore.Levels.Load(),
+		Frontier:          m.explore.Frontier.snapshot(),
+		States:            m.explore.States.Load(),
+		Edges:             m.explore.Edges.Load(),
+		Nanos:             m.explore.Nanos.Load(),
+		Cancellations:     m.explore.Cancellations.Load(),
+		InternArenaBytes:  m.explore.InternArenaBytes.Load(),
+		InternCollisions:  m.explore.InternCollisions.Load(),
+		InternShard:       m.explore.InternShard.snapshot(),
+		SpillSegments:     m.explore.SpillSegments.Load(),
+		SpillBytes:        m.explore.SpillBytes.Load(),
+		SpillReadBytes:    m.explore.SpillReadBytes.Load(),
+		SpillResidentPeak: m.explore.SpillResidentPeak.Load(),
+		FrontierSpills:    m.explore.FrontierSpills.Load(),
 	}
 	if s.Explore.Nanos > 0 {
 		s.Explore.StatesPerSec = float64(s.Explore.States) / (float64(s.Explore.Nanos) / 1e9)

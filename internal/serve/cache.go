@@ -2,6 +2,12 @@ package serve
 
 import (
 	"container/list"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -9,6 +15,7 @@ import (
 	"repro/internal/convert"
 	"repro/internal/obs"
 	"repro/internal/popprog"
+	"repro/internal/protocol"
 )
 
 // Cache is an LRU cache of §7 compile→convert results, keyed by the
@@ -35,6 +42,9 @@ type Cache struct {
 	max int
 	ll  *list.List // front = most recently used; values are *cacheItem
 	m   map[string]*list.Element
+	// dir, when non-empty, persists completed conversions as skeleton files
+	// (see cacheSkeleton) so a restarted server boots warm. Set by Persist.
+	dir string
 }
 
 type cacheItem struct {
@@ -84,7 +94,9 @@ func (c *Cache) Convert(prog *popprog.Program, optimize bool) (*convert.Result, 
 		for c.ll.Len() > c.max {
 			oldest := c.ll.Back()
 			c.ll.Remove(oldest)
-			delete(c.m, oldest.Value.(*cacheItem).key)
+			evicted := oldest.Value.(*cacheItem).key
+			delete(c.m, evicted)
+			c.removeSkeleton(evicted)
 			if met != nil {
 				met.CacheEvictions.Inc()
 			}
@@ -118,8 +130,155 @@ func (c *Cache) Convert(prog *popprog.Program, optimize bool) (*convert.Result, 
 			met.Conversions.Inc()
 			met.ConvertNanos.Add(time.Since(t0).Nanoseconds())
 		}
+		if e.err == nil {
+			c.writeSkeleton(key, e)
+		}
 	})
 	return e.res, e.report, key, e.err
+}
+
+// cacheSkeleton is the on-disk form of a completed conversion: exactly the
+// fields a warm hit serves (the result document never touches the Result's
+// unexported machinery), plus the protocol's content fingerprint so a loaded
+// file that no longer matches its own protocol is rejected instead of
+// silently serving a corrupted conversion.
+type cacheSkeleton struct {
+	Key         string             `json:"key"`
+	Fingerprint string             `json:"fingerprint"`
+	Protocol    *protocol.Protocol `json:"protocol"`
+	NumPointers int                `json:"num_pointers"`
+	CoreStates  int                `json:"core_states"`
+	Report      *convert.OptReport `json:"report,omitempty"`
+}
+
+// skeletonFileRe matches persisted cache entries: the 64-hex canonical hash
+// with the ":opt" suffix mapped to "-opt" (':' is not portable in filenames).
+var skeletonFileRe = regexp.MustCompile(`^[0-9a-f]{64}(-opt)?\.json$`)
+
+func skeletonFile(key string) string { return strings.ReplaceAll(key, ":", "-") + ".json" }
+
+// Persist enables write-through persistence under dir and warms the cache
+// from the skeleton files already there (newest first, up to capacity).
+// Invalid, corrupt, or fingerprint-mismatched files are ignored: persistence
+// is an optimisation, and a cold entry merely costs one reconversion.
+func (c *Cache) Persist(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	type candidate struct {
+		name string
+		mod  time.Time
+	}
+	var cands []candidate
+	for _, ent := range entries {
+		if ent.IsDir() || !skeletonFileRe.MatchString(ent.Name()) {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{ent.Name(), info.ModTime()})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mod.After(cands[j].mod) })
+	if len(cands) > c.max {
+		cands = cands[:c.max]
+	}
+	// Newest first with PushBack keeps the most recent conversions at the
+	// LRU front, mirroring the order they would occupy in a live server.
+	for _, cand := range cands {
+		skel, err := loadSkeleton(filepath.Join(c.dir, cand.name))
+		if err != nil || skeletonFile(skel.Key) != cand.name {
+			continue
+		}
+		if _, dup := c.m[skel.Key]; dup {
+			continue
+		}
+		e := &cacheEntry{
+			res: &convert.Result{
+				Protocol:    skel.Protocol,
+				NumPointers: skel.NumPointers,
+				CoreStates:  skel.CoreStates,
+			},
+			report: skel.Report,
+		}
+		e.once.Do(func() {}) // already complete: hits must not reconvert
+		c.m[skel.Key] = c.ll.PushBack(&cacheItem{key: skel.Key, entry: e})
+	}
+	return nil
+}
+
+// loadSkeleton reads and validates one persisted conversion.
+func loadSkeleton(path string) (*cacheSkeleton, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var skel cacheSkeleton
+	if err := json.Unmarshal(data, &skel); err != nil {
+		return nil, err
+	}
+	if skel.Protocol == nil {
+		return nil, os.ErrInvalid
+	}
+	if err := skel.Protocol.Validate(); err != nil {
+		return nil, err
+	}
+	if skel.Protocol.Fingerprint() != skel.Fingerprint {
+		return nil, os.ErrInvalid
+	}
+	return &skel, nil
+}
+
+// writeSkeleton persists a completed conversion atomically (temp + rename).
+// Best-effort: a write failure costs a cold boot later, never the job.
+func (c *Cache) writeSkeleton(key string, e *cacheEntry) {
+	c.mu.Lock()
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return
+	}
+	skel := cacheSkeleton{
+		Key:         key,
+		Fingerprint: e.res.Protocol.Fingerprint(),
+		Protocol:    e.res.Protocol,
+		NumPointers: e.res.NumPointers,
+		CoreStates:  e.res.CoreStates,
+		Report:      e.report,
+	}
+	data, err := json.Marshal(&skel)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "skel*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, skeletonFile(key))); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// removeSkeleton deletes an evicted entry's skeleton file. Caller holds c.mu.
+func (c *Cache) removeSkeleton(key string) {
+	if c.dir != "" {
+		os.Remove(filepath.Join(c.dir, skeletonFile(key)))
+	}
 }
 
 // Len reports the number of cached conversions (including in-flight ones).

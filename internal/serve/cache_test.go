@@ -3,6 +3,9 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -246,5 +249,95 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if after := met.Serve().Conversions.Load(); after != before+1 {
 		t.Fatalf("re-requesting the evicted program did not reconvert (%d → %d)", before, after)
+	}
+}
+
+// TestCachePersistRestart is the restart differential test for the
+// persisted compiled-protocol cache: a server with a StateDir writes every
+// completed conversion through to disk, and a NEW server process booted on
+// the same StateDir serves the same program (under different formatting)
+// byte-identically with ZERO conversions — the warm-from-disk path does no
+// §7 work at all. Both the plain and the ":opt" pipeline keys are covered.
+func TestCachePersistRestart(t *testing.T) {
+	dir := t.TempDir()
+	base := JobSpec{Kind: KindSimulate, Input: []int64{9}, Runs: 3, Seed: 7}
+
+	submit := func(s *Server, baseURL string, spec JobSpec) *Job {
+		t.Helper()
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := waitTerminal(t, baseURL, j.ID)
+		if done.Status != StatusDone {
+			t.Fatalf("job %s finished %s (%s)", j.ID, done.Status, done.Error)
+		}
+		return done
+	}
+
+	// First life: cold conversions, written through to StateDir/convert.
+	met := obs.Enable()
+	s1, err := New(Config{Workers: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	plainSpec := base
+	plainSpec.Program = cacheTestSrc
+	optSpec := plainSpec
+	optSpec.Optimize = true
+	coldPlain := submit(s1, ts1.URL, plainSpec)
+	coldOpt := submit(s1, ts1.URL, optSpec)
+	if n := met.Serve().Conversions.Load(); n != 2 {
+		t.Fatalf("first server ran %d conversions, want 2", n)
+	}
+	ts1.Close()
+	s1.Close()
+	obs.Disable()
+
+	// The skeleton files must exist on disk under their key-derived names.
+	for _, key := range []string{coldPlain.CacheKey, coldOpt.CacheKey} {
+		path := filepath.Join(dir, "convert", skeletonFile(key))
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("no skeleton persisted for key %q: %v", key, err)
+		}
+	}
+
+	// Second life: same StateDir, fresh process. The boot-time Persist load
+	// must leave the cache warm, so the reformatted program converts zero
+	// times and both result documents come back byte-identical.
+	met = obs.Enable()
+	defer obs.Disable()
+	s2, ts2 := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	warmSpec := base
+	warmSpec.Program = cacheTestSrcReformatted
+	warmPlain := submit(s2, ts2.URL, warmSpec)
+	warmSpec.Optimize = true
+	warmOpt := submit(s2, ts2.URL, warmSpec)
+
+	if n := met.Serve().Conversions.Load(); n != 0 {
+		t.Fatalf("restarted server ran %d conversions, want 0 (disk-warm hits only)", n)
+	}
+	if h, m := met.Serve().CacheHits.Load(), met.Serve().CacheMisses.Load(); h != 2 || m != 0 {
+		t.Fatalf("restarted server: hits %d misses %d, want 2/0", h, m)
+	}
+	if coldPlain.CacheKey != warmPlain.CacheKey || coldOpt.CacheKey != warmOpt.CacheKey {
+		t.Fatalf("cache keys changed across restart: %q/%q vs %q/%q",
+			coldPlain.CacheKey, coldOpt.CacheKey, warmPlain.CacheKey, warmOpt.CacheKey)
+	}
+	if !bytes.Equal(coldPlain.Result, warmPlain.Result) {
+		t.Fatalf("plain results differ across restart:\n%s\nvs\n%s", coldPlain.Result, warmPlain.Result)
+	}
+	if !bytes.Equal(coldOpt.Result, warmOpt.Result) {
+		t.Fatalf("optimized results differ across restart:\n%s\nvs\n%s", coldOpt.Result, warmOpt.Result)
+	}
+	// The optimized warm hit must still carry the pipeline accounting, i.e.
+	// the OptReport survived the disk round trip inside the skeleton.
+	var res simulateResult
+	if err := json.Unmarshal(warmOpt.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Convert == nil || res.Convert.Pipeline != convert.PipelineTag || res.Convert.Opt == nil {
+		t.Fatalf("warm optimized result lost pipeline accounting: %s", warmOpt.Result)
 	}
 }

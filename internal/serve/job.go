@@ -102,6 +102,12 @@ type JobSpec struct {
 	Join   float64 `json:"join,omitempty"`
 	// MaxStates bounds explore jobs (0 = engine default).
 	MaxStates int `json:"max_states,omitempty"`
+	// MemBudget caps the resident bytes of an explore job's spillable
+	// storage (key log + frontier); overflow goes to per-run spill files
+	// under the server's state directory (or the system temp dir), removed
+	// when the job finishes. 0 = all in RAM. Results are bit-identical for
+	// any value.
+	MemBudget int64 `json:"mem_budget,omitempty"`
 	// Checkpoint names the checkpoint file of a sweep job. When set (and
 	// the server has a state directory) the sweep writes periodic atomic
 	// checkpoints and resumes from them after a restart; resubmitting the
@@ -162,6 +168,7 @@ func (s *JobSpec) Validate() error {
 		{"batch", s.Batch}, {"max_steps", s.MaxSteps},
 		{"stable_window", s.StableWindow}, {"quiescence_period", s.QuiescencePeriod},
 		{"fluid_floor", s.FluidFloor}, {"max_states", int64(s.MaxStates)},
+		{"mem_budget", s.MemBudget},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("%s must be ≥ 0, got %d", f.name, f.v)

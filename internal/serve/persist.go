@@ -14,6 +14,8 @@ import (
 
 func (s *Server) jobsDir() string        { return filepath.Join(s.cfg.StateDir, "jobs") }
 func (s *Server) checkpointsDir() string { return filepath.Join(s.cfg.StateDir, "checkpoints") }
+func (s *Server) convertDir() string     { return filepath.Join(s.cfg.StateDir, "convert") }
+func (s *Server) spillDir() string       { return filepath.Join(s.cfg.StateDir, "spill") }
 
 // persistJob writes the job document atomically to StateDir/jobs/<id>.json.
 // Callers hold s.mu (except recover, which runs before the workers start),

@@ -32,10 +32,14 @@ type Config struct {
 	Workers int
 	// CacheSize bounds the compiled-protocol LRU cache. Default 32.
 	CacheSize int
-	// StateDir, when set, persists jobs (StateDir/jobs) and sweep
-	// checkpoints (StateDir/checkpoints) across restarts: New re-loads all
-	// jobs and re-enqueues the non-terminal ones, and checkpointed sweeps
-	// resume bit-identically instead of recomputing completed points.
+	// StateDir, when set, persists jobs (StateDir/jobs), sweep checkpoints
+	// (StateDir/checkpoints) and completed conversions (StateDir/convert)
+	// across restarts: New re-loads all jobs and re-enqueues the
+	// non-terminal ones, checkpointed sweeps resume bit-identically instead
+	// of recomputing completed points, and the compiled-protocol cache
+	// boots warm from its persisted skeletons. Explore jobs running under a
+	// memory budget also place their (per-run, self-cleaning) spill
+	// directories under StateDir/spill instead of the system temp dir.
 	StateDir string
 	// CheckpointEvery is the number of completed sweep points between
 	// checkpoint writes. Default 1 (checkpoint after every point).
@@ -105,11 +109,15 @@ func New(cfg Config) (*Server, error) {
 		nextID:  1,
 	}
 	if cfg.StateDir != "" {
-		for _, dir := range []string{s.jobsDir(), s.checkpointsDir()} {
+		for _, dir := range []string{s.jobsDir(), s.checkpointsDir(), s.spillDir()} {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				cancel()
 				return nil, err
 			}
+		}
+		if err := s.cache.Persist(s.convertDir()); err != nil {
+			cancel()
+			return nil, err
 		}
 		if err := s.recover(); err != nil {
 			cancel()
@@ -392,8 +400,19 @@ func (s *Server) execute(ctx context.Context, j *Job) (json.RawMessage, string, 
 			return nil, cacheKey, err
 		}
 		sys := explore.NewProtocolSystem(p)
+		exOpts := explore.Options{
+			MaxStates: spec.MaxStates,
+			Workers:   spec.Workers,
+			MemBudget: spec.MemBudget,
+		}
+		if s.cfg.StateDir != "" {
+			// The engine creates a per-run directory under this and removes
+			// it on every exit path, so a finished (or cancelled, or failed)
+			// job leaves nothing behind.
+			exOpts.SpillDir = s.spillDir()
+		}
 		exRes, err := explore.ExploreContext(ctx, sys,
-			[]*multiset.Multiset{init}, explore.Options{MaxStates: spec.MaxStates, Workers: spec.Workers})
+			[]*multiset.Multiset{init}, exOpts)
 		if err != nil {
 			return nil, cacheKey, err
 		}

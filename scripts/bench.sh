@@ -3,8 +3,12 @@
 #
 # Covers the scheduler-level StepN benchmarks (exact vs collision kernel),
 # the end-to-end RunKernels convergence benchmark, the root
-# BatchStepN / MeasureConvergence benchmarks, and the fluid-tier benchmarks
-# (FluidStepN chunk cost, LadderConvergence end-to-end at m = 10⁹/10¹²).
+# BatchStepN / MeasureConvergence benchmarks, the fluid-tier benchmarks
+# (FluidStepN chunk cost, LadderConvergence end-to-end at m = 10⁹/10¹²),
+# the E17 shrink benchmarks (whose removal metrics come from the `opt` obs
+# group, so pipeline regressions land in the record), and the out-of-core
+# explorer benchmark (ExploreSpill: all-RAM vs spilled at a matched state
+# count — states/sec and resident bytes per state).
 # Each JSON record carries the
 # benchmark name, iteration count and every (value, unit) metric pair Go
 # reported — ns/op, ns/interaction, interactions/s, B/op, allocs/op, ...
@@ -21,9 +25,9 @@ benchtime="${BENCHTIME:-1s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'StepN|MeasureConvergence|RunKernels|Ladder' \
+go test -run '^$' -bench 'StepN|MeasureConvergence|RunKernels|Ladder|Shrink|ExploreSpill' \
   -benchmem -benchtime "$benchtime" \
-  ./internal/sched ./internal/simulate ./internal/fluid . | tee "$raw"
+  ./internal/sched ./internal/simulate ./internal/fluid ./internal/explore . | tee "$raw"
 
 awk -v go_version="$(go version)" -v date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^Benchmark/ {
